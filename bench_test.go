@@ -1,0 +1,165 @@
+// Package mergescale_test is the benchmark harness: one benchmark per
+// table and figure of the paper (regenerating the artifact end-to-end),
+// plus microbenchmarks of the model, the simulator, and the native
+// workloads. Run with:
+//
+//	go test -bench=. -benchmem
+package mergescale_test
+
+import (
+	"io"
+	"testing"
+
+	"mergescale/internal/core"
+	"mergescale/internal/experiments"
+	"mergescale/internal/parallel"
+	"mergescale/internal/reduction"
+	"mergescale/internal/sim"
+	"mergescale/internal/workload"
+	"mergescale/internal/workload/datagen"
+	"mergescale/internal/workload/kmeans"
+)
+
+// benchExperiment regenerates one paper artifact per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := experiments.Options{Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		doc, err := e.Run(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := doc.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per table.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// One benchmark per figure.
+func BenchmarkFig2a(b *testing.B) { benchExperiment(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B) { benchExperiment(b, "fig2b") }
+func BenchmarkFig2c(b *testing.B) { benchExperiment(b, "fig2c") }
+func BenchmarkFig2d(b *testing.B) { benchExperiment(b, "fig2d") }
+func BenchmarkFig3(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchExperiment(b, "fig7") }
+
+// Ablation benches.
+func BenchmarkAblGrowth(b *testing.B)   { benchExperiment(b, "abl-growth") }
+func BenchmarkAblTopology(b *testing.B) { benchExperiment(b, "abl-topology") }
+func BenchmarkAblStrategy(b *testing.B) { benchExperiment(b, "abl-strategy") }
+func BenchmarkAblBudget(b *testing.B)   { benchExperiment(b, "abl-budget") }
+
+// BenchmarkModelSweep measures the raw analytical model: a full Figure 4
+// panel (4 series × the power-of-two grid) per iteration.
+func BenchmarkModelSweep(b *testing.B) {
+	bgt := core.DefaultBudget
+	rs := core.PowerOfTwoRs(bgt.N)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, f := range []float64{0.999, 0.99} {
+			for _, g := range []core.GrowthKind{core.GrowthLinear, core.GrowthLog} {
+				app := core.AppParams{F: f, FCon: 0.6, FOred: 0.8, Growth: g}
+				if _, ok := core.Best(core.SweepSymmetric(app, bgt, rs)); !ok {
+					b.Fatal("empty sweep")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorKMeans16 measures one 16-core simulated kmeans run.
+func BenchmarkSimulatorKMeans16(b *testing.B) {
+	w := kmeans.New()
+	w.Cfg.Iters = 3
+	ds, err := datagen.Generate(datagen.Spec{Label: "bench", N: 4096, D: 9, C: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := w.BuildProgram(ds, cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNativeKMeans measures the native parallel kmeans iteration.
+func BenchmarkNativeKMeans(b *testing.B) {
+	ds, err := datagen.Generate(datagen.Spec{Label: "bench", N: 8192, D: 9, C: 8, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := kmeans.Config{K: 8, Iters: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := kmeans.Run(ds, cfg, 4, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReductionStrategies measures the three merge implementations.
+func BenchmarkReductionStrategies(b *testing.B) {
+	for _, s := range []reduction.Strategy{reduction.Linear, reduction.Tree, reduction.Parallel} {
+		b.Run(s.String(), func(b *testing.B) {
+			const threads, width = 16, 4096
+			dst := make([]float64, width)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pv := parallel.NewPrivatized(threads, width)
+				for id := 0; id < threads; id++ {
+					buf := pv.Buf(id)
+					for j := range buf {
+						buf[j] = float64(id + j)
+					}
+				}
+				for j := range dst {
+					dst[j] = 0
+				}
+				if _, err := reduction.Reduce(s, pv, dst, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimSpeedupCurve measures the full Figure 2(a) inner loop for one
+// workload.
+func BenchmarkSimSpeedupCurve(b *testing.B) {
+	w := kmeans.New()
+	w.Cfg.Iters = 2
+	ds, err := datagen.Generate(datagen.Spec{Label: "bench", N: 4096, D: 9, C: 8, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.SimSpeedupCurve(w, ds, []int{1, 2, 4, 8}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command mergescale regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mergescale -list
+//	mergescale [-quick] [-csv] [-duration] run <experiment-id>|all
+//
+// Experiment ids follow the paper's artifact numbering (table1..table4,
+// fig2a..fig7) plus the abl-* ablations; see DESIGN.md for the index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mergescale/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		quickRun = flag.Bool("quick", false, "shrink data sets and grids for a fast run")
+		csv      = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		duration = flag.Bool("duration", false, "base native experiments on wall time instead of op counts")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-quick] [-csv] [-duration] run <id>|all\n       %s -list\n", os.Args[0], os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) != 2 || args[0] != "run" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{Quick: *quickRun, UseDuration: *duration}
+	var targets []experiments.Experiment
+	if args[1] == "all" {
+		targets = experiments.Registry()
+	} else {
+		e, err := experiments.ByID(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		targets = []experiments.Experiment{e}
+	}
+
+	for _, e := range targets {
+		doc, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		var renderErr error
+		if *csv {
+			renderErr = doc.CSV(os.Stdout)
+		} else {
+			renderErr = doc.Render(os.Stdout)
+		}
+		if renderErr != nil {
+			fmt.Fprintf(os.Stderr, "%s: render: %v\n", e.ID, renderErr)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

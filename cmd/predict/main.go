@@ -1,0 +1,78 @@
+// Command predict sweeps the extended Amdahl model over symmetric and
+// asymmetric designs for arbitrary application parameters.
+//
+// Usage:
+//
+//	predict -f 0.99 -fcon 0.6 -fored 0.8 -growth linear [-budget 256] [-acmp] [-r 4] [-comm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mergescale/internal/core"
+)
+
+func main() {
+	var (
+		f      = flag.Float64("f", 0.99, "parallel fraction")
+		fcon   = flag.Float64("fcon", 0.60, "constant share of serial time [0,1]")
+		fored  = flag.Float64("fored", 0.80, "overhead share of the reduction part")
+		growth = flag.String("growth", "linear", "growth function: none | linear | log")
+		budget = flag.Int("budget", 256, "chip budget in BCEs")
+		acmp   = flag.Bool("acmp", false, "sweep asymmetric designs (rl on the x-axis)")
+		r      = flag.Float64("r", 1, "small-core size for -acmp sweeps")
+		comm   = flag.Bool("comm", false, "use the communication-aware model (Section V-E)")
+	)
+	flag.Parse()
+
+	g, err := core.ParseGrowth(*growth)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	app := core.AppParams{Name: "cli", F: *f, FCon: *fcon, FOred: *fored, Growth: g}
+	if err := app.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	b := core.Budget{N: *budget}
+	if err := b.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	grid := core.PowerOfTwoRs(b.N)
+
+	var pts []core.SweepPoint
+	var xname string
+	switch {
+	case *comm && *acmp:
+		m := core.NewCommModel(app)
+		pts = core.SweepAsymmetricComm(m, b, grid, *r)
+		xname = "rl"
+	case *comm:
+		m := core.NewCommModel(app)
+		pts = core.SweepSymmetricComm(m, b, grid)
+		xname = "r"
+	case *acmp:
+		pts = core.SweepAsymmetric(app, b, grid, *r)
+		xname = "rl"
+	default:
+		pts = core.SweepSymmetric(app, b, grid)
+		xname = "r"
+	}
+
+	fmt.Printf("f=%.4f fcon=%.2f fored=%.2f growth=%s budget=%d BCEs\n", *f, *fcon, *fored, g, b.N)
+	fmt.Printf("%6s  %10s\n", xname, "speedup")
+	for _, p := range pts {
+		fmt.Printf("%6.0f  %10.2f\n", p.R, p.Speedup)
+	}
+	if best, ok := core.Best(pts); ok {
+		fmt.Printf("peak: speedup %.2f at %s=%.0f\n", best.Speedup, xname, best.R)
+	}
+	if !*acmp && !*comm {
+		opt := core.OptimalSymmetricR(app, b, 1e-3)
+		fmt.Printf("continuous optimum: speedup %.2f at r=%.1f\n", opt.Speedup, opt.R)
+	}
+}

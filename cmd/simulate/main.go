@@ -1,0 +1,83 @@
+// Command simulate runs one clustering workload on the CMP simulator and
+// prints per-phase cycle counts and memory-system statistics.
+//
+// Usage:
+//
+//	simulate -workload kmeans -cores 16 [-scale 4] [-iters 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mergescale/internal/sim"
+	"mergescale/internal/workload"
+	"mergescale/internal/workload/datagen"
+	"mergescale/internal/workload/fuzzy"
+	"mergescale/internal/workload/hop"
+	"mergescale/internal/workload/kmeans"
+)
+
+func main() {
+	var (
+		name  = flag.String("workload", "kmeans", "workload: kmeans | fuzzy | hop")
+		cores = flag.Int("cores", 16, "simulated core count (1..64)")
+		scale = flag.Int("scale", 4, "divide the data-set point count by this factor")
+		iters = flag.Int("iters", 10, "clustering iterations (kmeans/fuzzy)")
+	)
+	flag.Parse()
+
+	var w workload.Workload
+	switch *name {
+	case "kmeans":
+		k := kmeans.New()
+		k.Cfg.Iters = *iters
+		w = k
+	case "fuzzy":
+		f := fuzzy.New()
+		f.Cfg.Iters = *iters
+		w = f
+	case "hop":
+		w = hop.New()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+
+	ds, err := datagen.Generate(w.DefaultSpec())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := sim.DefaultConfig(*cores)
+	prog, err := w.BuildProgram(ds, cfg, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := m.Run(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload  %s  (data %s, scale 1/%d)\n", w.Name(), ds.Spec.Label, *scale)
+	fmt.Printf("machine   %d cores, L1 %dK/%d-way, L2 %dM/%d-way, MESI, 2D mesh\n",
+		cfg.Cores, cfg.L1Size>>10, cfg.L1Ways, cfg.L2Size>>20, cfg.L2Ways)
+	fmt.Printf("cycles    %d total\n", res.Cycles)
+	for _, phase := range res.PhaseNames() {
+		cy := res.PhaseCycles(phase)
+		fmt.Printf("  %-10s %12d cycles  (%5.2f%%)\n", phase, cy, 100*float64(cy)/float64(res.Cycles))
+	}
+	c := res.Counters
+	fmt.Printf("memory    loads %d, stores %d\n", c.Loads, c.Stores)
+	fmt.Printf("          L1 hits %d / misses %d, L2 hits %d / misses %d\n", c.L1Hits, c.L1Misses, c.L2Hits, c.L2Misses)
+	fmt.Printf("coherence c2c transfers %d, invalidations %d, writebacks %d\n", c.C2CTransfers, c.Invalidations, c.WriteBacks)
+	fmt.Printf("sync      %d barriers\n", c.Barriers)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Budget describes the chip resource budget: a total of N base-core
+// equivalents (BCEs). The paper's design-space analysis uses N = 256.
+type Budget struct {
+	N int // total BCEs on chip, > 0
+}
+
+// DefaultBudget is the 256-BCE budget used throughout the paper.
+var DefaultBudget = Budget{N: 256}
+
+// Validate checks the budget.
+func (b Budget) Validate() error {
+	if b.N <= 0 {
+		return errors.New("core: BCE budget must be positive")
+	}
+	return nil
+}
+
+// SymDesign is a symmetric CMP design point: n/r homogeneous cores of r
+// BCEs each.
+type SymDesign struct {
+	Budget Budget
+	R      float64 // BCEs per core, in [1, N]
+}
+
+// Cores returns the number of cores n/r in the design.
+func (d SymDesign) Cores() float64 { return float64(d.Budget.N) / d.R }
+
+// Validate checks the design point.
+func (d SymDesign) Validate() error {
+	if err := d.Budget.Validate(); err != nil {
+		return err
+	}
+	if d.R < 1 || d.R > float64(d.Budget.N) {
+		return fmt.Errorf("core: r = %g outside [1,%d]", d.R, d.Budget.N)
+	}
+	return nil
+}
+
+// AsymDesign is an asymmetric CMP design point: one large core of RL BCEs
+// plus (N-RL)/R small cores of R BCEs each.
+type AsymDesign struct {
+	Budget Budget
+	RL     float64 // BCEs of the large core, in [1, N]
+	R      float64 // BCEs per small core, >= 1
+}
+
+// SmallCores returns the number of small cores (N-RL)/R.
+func (d AsymDesign) SmallCores() float64 {
+	return (float64(d.Budget.N) - d.RL) / d.R
+}
+
+// Validate checks the design point. A design must retain at least one small
+// core, otherwise the parallel section has no executors beyond the large
+// core and the ACMP degenerates.
+func (d AsymDesign) Validate() error {
+	if err := d.Budget.Validate(); err != nil {
+		return err
+	}
+	if d.RL < 1 || d.RL > float64(d.Budget.N) {
+		return fmt.Errorf("core: rl = %g outside [1,%d]", d.RL, d.Budget.N)
+	}
+	if d.R < 1 {
+		return fmt.Errorf("core: r = %g below 1", d.R)
+	}
+	if d.SmallCores() < 1 {
+		return fmt.Errorf("core: design rl=%g r=%g leaves %.2f small cores", d.RL, d.R, d.SmallCores())
+	}
+	return nil
+}
+
+// Amdahl returns the classic Amdahl's Law speedup (Eq. 1) for parallel
+// fraction f on p processors of equal performance.
+func Amdahl(f, p float64) float64 {
+	if p < 1 {
+		p = 1
+	}
+	s := 1 - f
+	return 1 / (s + f/p)
+}
+
+// AmdahlLimit returns the asymptotic speedup 1/s, or +Inf when f = 1.
+func AmdahlLimit(f float64) float64 {
+	s := 1 - f
+	if s <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / s
+}
+
+// HillMartyCMP returns the Hill & Marty symmetric-CMP speedup (Eq. 2) for
+// parallel fraction f on the given design, relative to one BCE.
+func HillMartyCMP(f float64, d SymDesign) float64 {
+	s := 1 - f
+	pr := Perf(d.R)
+	serial := s / pr
+	parallel := f * d.R / (pr * float64(d.Budget.N))
+	return 1 / (serial + parallel)
+}
+
+// HillMartyACMP returns the Hill & Marty asymmetric-CMP speedup (Eq. 3
+// generalized to small cores of size R as in Section V-D2): the serial
+// section runs on the large core, the parallel section on all small cores
+// plus the large core.
+func HillMartyACMP(f float64, d AsymDesign) float64 {
+	s := 1 - f
+	prl := Perf(d.RL)
+	serial := s / prl
+	parallel := f / (Perf(d.R)*d.SmallCores() + prl)
+	return 1 / (serial + parallel)
+}

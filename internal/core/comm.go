@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"mergescale/internal/topology"
+)
+
+// ReductionImpl identifies how the merging phase is implemented, which
+// determines the computation growth function of Section V-E:
+//
+//	linear:   one thread accumulates all partial results    -> grow ~ p
+//	tree:     pairwise combining in log2(p) steps           -> grow ~ log2(p)
+//	parallel: each of the p threads merges x/p elements     -> no growth
+type ReductionImpl int
+
+const (
+	// ReductionLinear is the serial accumulation loop of Algorithm 1.
+	ReductionLinear ReductionImpl = iota
+	// ReductionTree is a binary combining tree.
+	ReductionTree
+	// ReductionParallel privatizes the reduction across threads; computation
+	// does not grow but all-to-all communication of partial results does.
+	ReductionParallel
+)
+
+// String returns the implementation name.
+func (r ReductionImpl) String() string {
+	switch r {
+	case ReductionLinear:
+		return "linear"
+	case ReductionTree:
+		return "tree"
+	case ReductionParallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("core.ReductionImpl(%d)", int(r))
+	}
+}
+
+// GrowComp returns the additional computation overhead factor growcomp(p)
+// such that reduction computation time is fcomp·(1+growcomp(p)). At p = 1
+// all implementations return 0 (no overhead beyond single-core cost).
+func (r ReductionImpl) GrowComp(p float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	switch r {
+	case ReductionLinear:
+		return GrowthLinear.Grow(p) - 1
+	case ReductionTree:
+		return GrowthLog.Grow(p) - 1
+	case ReductionParallel:
+		return 0
+	default:
+		return 0
+	}
+}
+
+// CommModel carries the Section V-E communication-aware model parameters.
+//
+// The reduction share of the serial fraction is split evenly between a
+// computation fraction fcomp and a communication fraction fcomm (the paper's
+// ideal-case premise fcomp == fcomm, fcomp+fcomm = fred). Communication cost
+// grows with the interconnect-derived growth function of the chosen network;
+// computation cost grows with the reduction implementation.
+type CommModel struct {
+	App      AppParams     // F and FCon are used; FOred/Growth are ignored
+	Impl     ReductionImpl // computation growth
+	Network  topology.Kind // communication growth source
+	Elements int           // x, reduction elements per core; paper uses 1
+	Exact    bool          // use exact GrowComm instead of the sqrt(nc)/2 approximation
+}
+
+// NewCommModel returns a model with the paper's defaults: parallel
+// reduction implementation on a 2D mesh with x = 1.
+func NewCommModel(app AppParams) CommModel {
+	return CommModel{App: app, Impl: ReductionParallel, Network: topology.Mesh2D, Elements: 1}
+}
+
+// growComm evaluates the communication growth function at p cores.
+func (m CommModel) growComm(p float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	x := m.Elements
+	if x <= 0 {
+		x = 1
+	}
+	net, err := topology.New(m.Network, int(p+0.5))
+	if err != nil {
+		return 0
+	}
+	if m.Exact {
+		return net.GrowComm(x)
+	}
+	if m.Network == topology.Mesh2D && x == 1 {
+		return net.GrowCommApprox()
+	}
+	return net.GrowComm(x)
+}
+
+// serialParts returns the two serial components of Eq. 6/7: the part that
+// executes on a core (constant serial + reduction computation, to be divided
+// by that core's performance) and the communication part (not accelerated by
+// core capability).
+func (m CommModel) serialParts(p float64) (compute, comm float64) {
+	s := m.App.SerialFraction()
+	half := m.App.FRed() / 2 // fcomp == fcomm == fred/2
+	fcomp := s * half
+	fcomm := s * half
+	compute = s*m.App.FCon + fcomp*(1+m.Impl.GrowComp(p))
+	comm = fcomm * (1 + m.growComm(p))
+	return compute, comm
+}
+
+// SpeedupCMP returns the communication-aware symmetric-CMP speedup (Eq. 6
+// substituted into the Eq. 4 denominator).
+func (m CommModel) SpeedupCMP(d SymDesign) float64 {
+	p := d.Cores()
+	compute, comm := m.serialParts(p)
+	pr := Perf(d.R)
+	serial := compute/pr + comm
+	parallel := m.App.F * d.R / (pr * float64(d.Budget.N))
+	return 1 / (serial + parallel)
+}
+
+// SpeedupACMP returns the communication-aware asymmetric-CMP speedup (Eq. 7
+// substituted into the Eq. 5 denominator): serial computation runs on the
+// large core; communication again is not accelerated.
+func (m CommModel) SpeedupACMP(d AsymDesign) float64 {
+	p := d.SmallCores()
+	compute, comm := m.serialParts(p)
+	serial := compute/Perf(d.RL) + comm
+	parallel := m.App.F / (Perf(d.R)*p + Perf(d.RL))
+	return 1 / (serial + parallel)
+}
+
+// SerialFraction returns the total effective serial fraction (compute+comm,
+// unscaled by core performance) at p cores; exposed for tests and the
+// reduction-strategy ablation experiment.
+func (m CommModel) SerialFraction(p float64) float64 {
+	compute, comm := m.serialParts(p)
+	return compute + comm
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// GrowthKind selects the reduction-overhead growth function grow(p) applied
+// to the overhead share of the reduction fraction as the parallel core count
+// p increases.
+type GrowthKind int
+
+const (
+	// GrowthNone models a constant serial section: grow(p) = 1. With this
+	// growth the extended model degenerates to the Hill & Marty model and is
+	// used as the "Amdahl" baseline curves in Figures 3–5.
+	GrowthNone GrowthKind = iota
+	// GrowthLinear models a serial (linear) reduction whose work grows
+	// proportionally to the number of cores: grow(p) = p. This is the
+	// behaviour of the kmeans merging loop in Algorithm 1 of the paper.
+	GrowthLinear
+	// GrowthLog models a tree (logarithmic) reduction: grow(p) = log2(p)
+	// for p > 1, and 1 for p <= 1 (at one core the reduction collapses to
+	// its single-core cost).
+	GrowthLog
+)
+
+// String returns the growth-function name as used in figure legends.
+func (g GrowthKind) String() string {
+	switch g {
+	case GrowthNone:
+		return "none"
+	case GrowthLinear:
+		return "linear"
+	case GrowthLog:
+		return "log"
+	default:
+		return fmt.Sprintf("core.GrowthKind(%d)", int(g))
+	}
+}
+
+// ParseGrowth converts a legend name back into a GrowthKind.
+func ParseGrowth(s string) (GrowthKind, error) {
+	switch s {
+	case "none", "amdahl", "constant":
+		return GrowthNone, nil
+	case "linear":
+		return GrowthLinear, nil
+	case "log", "logarithmic":
+		return GrowthLog, nil
+	}
+	return 0, fmt.Errorf("core: unknown growth function %q", s)
+}
+
+// Grow evaluates the growth function at parallel core count p. Values of
+// p <= 1 return 1: with a single core the merging phase costs exactly its
+// single-core (constant) reduction time.
+func (g GrowthKind) Grow(p float64) float64 {
+	if p <= 1 {
+		return 1
+	}
+	switch g {
+	case GrowthNone:
+		return 1
+	case GrowthLinear:
+		return p
+	case GrowthLog:
+		return math.Log2(p)
+	default:
+		return 1
+	}
+}
+
+// Perf is the core performance model: a core built from r base-core
+// equivalents (BCEs) performs perf(r) times a single BCE. Following the
+// paper (and Borkar), performance is proportional to the square root of the
+// area: perf(r) = sqrt(r).
+func Perf(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return math.Sqrt(r)
+}

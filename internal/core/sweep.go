@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// SweepPoint is one evaluated design point in a sweep.
+type SweepPoint struct {
+	R       float64 // per-core BCEs (symmetric) or large-core BCEs (asymmetric rl sweep)
+	Speedup float64
+}
+
+// PowerOfTwoRs returns the sweep grid {1, 2, 4, ..., n} used on the x-axis
+// of Figures 4, 5 and 7.
+func PowerOfTwoRs(n int) []float64 {
+	var rs []float64
+	for r := 1; r <= n; r *= 2 {
+		rs = append(rs, float64(r))
+	}
+	return rs
+}
+
+// SweepSymmetric evaluates the extended CMP model across per-core sizes rs.
+func SweepSymmetric(app AppParams, b Budget, rs []float64) []SweepPoint {
+	pts := make([]SweepPoint, 0, len(rs))
+	for _, r := range rs {
+		d := SymDesign{Budget: b, R: r}
+		if d.Validate() != nil {
+			continue
+		}
+		pts = append(pts, SweepPoint{R: r, Speedup: SpeedupCMP(app, d)})
+	}
+	return pts
+}
+
+// SweepAsymmetric evaluates the extended ACMP model across large-core sizes
+// rls, holding the small-core size fixed at r. Design points that leave
+// fewer than one small core are skipped (e.g. rl = n).
+func SweepAsymmetric(app AppParams, b Budget, rls []float64, r float64) []SweepPoint {
+	pts := make([]SweepPoint, 0, len(rls))
+	for _, rl := range rls {
+		d := AsymDesign{Budget: b, RL: rl, R: r}
+		if d.Validate() != nil {
+			continue
+		}
+		pts = append(pts, SweepPoint{R: rl, Speedup: SpeedupACMP(app, d)})
+	}
+	return pts
+}
+
+// SweepSymmetricComm and SweepAsymmetricComm evaluate the communication-
+// aware model (Section V-E) over the same grids.
+func SweepSymmetricComm(m CommModel, b Budget, rs []float64) []SweepPoint {
+	pts := make([]SweepPoint, 0, len(rs))
+	for _, r := range rs {
+		d := SymDesign{Budget: b, R: r}
+		if d.Validate() != nil {
+			continue
+		}
+		pts = append(pts, SweepPoint{R: r, Speedup: m.SpeedupCMP(d)})
+	}
+	return pts
+}
+
+// SweepAsymmetricComm sweeps large-core sizes for the communication model.
+func SweepAsymmetricComm(m CommModel, b Budget, rls []float64, r float64) []SweepPoint {
+	pts := make([]SweepPoint, 0, len(rls))
+	for _, rl := range rls {
+		d := AsymDesign{Budget: b, RL: rl, R: r}
+		if d.Validate() != nil {
+			continue
+		}
+		pts = append(pts, SweepPoint{R: rl, Speedup: m.SpeedupACMP(d)})
+	}
+	return pts
+}
+
+// Best returns the sweep point with the highest speedup. The second return
+// is false for an empty sweep.
+func Best(pts []SweepPoint) (SweepPoint, bool) {
+	if len(pts) == 0 {
+		return SweepPoint{}, false
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.Speedup > best.Speedup {
+			best = p
+		}
+	}
+	return best, true
+}
+
+// OptimalSymmetricR finds the continuous r maximizing the extended CMP
+// speedup by golden-section search over [1, n]. The speedup is unimodal in
+// r for all parameterizations used in the paper (verified by the property
+// tests); the search refines to within tol BCEs.
+func OptimalSymmetricR(app AppParams, b Budget, tol float64) SweepPoint {
+	f := func(r float64) float64 {
+		return SpeedupCMP(app, SymDesign{Budget: b, R: r})
+	}
+	r := goldenMax(f, 1, float64(b.N), tol)
+	return SweepPoint{R: r, Speedup: f(r)}
+}
+
+// OptimalAsymmetricRL finds the continuous rl maximizing the extended ACMP
+// speedup for fixed small-core size r.
+func OptimalAsymmetricRL(app AppParams, b Budget, r, tol float64) SweepPoint {
+	hi := float64(b.N) - r // keep at least one small core
+	f := func(rl float64) float64 {
+		d := AsymDesign{Budget: b, RL: rl, R: r}
+		if d.Validate() != nil {
+			return 0
+		}
+		return SpeedupACMP(app, d)
+	}
+	rl := goldenMax(f, 1, hi, tol)
+	return SweepPoint{R: rl, Speedup: f(rl)}
+}
+
+// goldenMax performs golden-section search for the maximum of f on [lo,hi].
+func goldenMax(f func(float64) float64, lo, hi, tol float64) float64 {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// PeakCoreCount returns the core count p ∈ [1, maxP] at which the
+// equal-core extended model peaks, plus the peak speedup. Used to quantify
+// the "speedup peaks at much lesser core count" result of Figure 3.
+func PeakCoreCount(app AppParams, maxP int) (int, float64) {
+	bestP, bestS := 1, 0.0
+	for p := 1; p <= maxP; p++ {
+		s := EqualPerfCMP(app, p)
+		if s > bestS {
+			bestP, bestS = p, s
+		}
+	}
+	return bestP, bestS
+}
+
+// CrossoverR returns the smallest power-of-two r at which design A's
+// speedup falls below design B's, scanning the standard grid; -1 when no
+// crossover occurs. Exposed for the ablation experiments comparing growth
+// functions.
+func CrossoverR(a, b []SweepPoint) float64 {
+	m := map[float64]float64{}
+	for _, p := range b {
+		m[p.R] = p.Speedup
+	}
+	sorted := append([]SweepPoint(nil), a...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].R < sorted[j].R })
+	for _, p := range sorted {
+		if q, ok := m[p.R]; ok && p.Speedup < q {
+			return p.R
+		}
+	}
+	return -1
+}
+
+// SpeedupCurve evaluates the equal-core extended model at each core count,
+// producing the series plotted in Figure 3.
+func SpeedupCurve(app AppParams, cores []int) []float64 {
+	out := make([]float64, len(cores))
+	for i, p := range cores {
+		out[i] = EqualPerfCMP(app, p)
+	}
+	return out
+}
+
+// DoublingCoreCounts returns {1,2,4,...,max}.
+func DoublingCoreCounts(max int) []int {
+	var out []int
+	for p := 1; p <= max; p *= 2 {
+		out = append(out, p)
+	}
+	return out
+}
+
+// LinearCoreCounts returns {from, from+step, ..., to}.
+func LinearCoreCounts(from, to, step int) []int {
+	if step <= 0 {
+		step = 1
+	}
+	var out []int
+	for p := from; p <= to; p += step {
+		out = append(out, p)
+	}
+	return out
+}
+
+// RoundPow2 returns the nearest power of two to v (ties go up); exposed for
+// mapping continuous optima back onto the sweep grid in reports.
+func RoundPow2(v float64) float64 {
+	if v <= 1 {
+		return 1
+	}
+	e := math.Round(math.Log2(v))
+	return math.Pow(2, e)
+}

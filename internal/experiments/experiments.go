@@ -1,0 +1,136 @@
+// Package experiments contains one regenerator per table and figure of the
+// paper (plus ablation studies beyond it). Each experiment produces a
+// report.Document with the same rows/series the paper reports, alongside
+// the paper's published values where the text states them, so
+// EXPERIMENTS.md can record paper-vs-measured for every artifact.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mergescale/internal/report"
+	"mergescale/internal/workload"
+	"mergescale/internal/workload/datagen"
+	"mergescale/internal/workload/fuzzy"
+	"mergescale/internal/workload/hop"
+	"mergescale/internal/workload/kmeans"
+)
+
+// Options tunes experiment cost.
+type Options struct {
+	// Quick shrinks data sets and core-count grids so the whole suite runs
+	// in seconds (used by `go test` benchmarks and CI).
+	Quick bool
+	// UseDuration bases the native-run experiments (Fig. 2(c)) on wall
+	// clock instead of deterministic operation counts.
+	UseDuration bool
+}
+
+// Experiment is one regenerable artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*report.Document, error)
+}
+
+// Registry returns all experiments in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Table I: baseline configuration", Run: Table1},
+		{ID: "table2", Title: "Table II: application parameters", Run: Table2},
+		{ID: "table3", Title: "Table III: application classes and parameters", Run: Table3},
+		{ID: "table4", Title: "Table IV: dataset sensitivity", Run: Table4},
+		{ID: "fig2a", Title: "Fig 2(a): application scalability (simulation)", Run: Fig2a},
+		{ID: "fig2b", Title: "Fig 2(b): serial section growth (simulation)", Run: Fig2b},
+		{ID: "fig2c", Title: "Fig 2(c): serial behavior validation (native)", Run: Fig2c},
+		{ID: "fig2d", Title: "Fig 2(d): model accuracy", Run: Fig2d},
+		{ID: "fig3", Title: "Fig 3: scalability prediction, Amdahl vs extended", Run: Fig3},
+		{ID: "fig4", Title: "Fig 4: symmetric CMP design space", Run: Fig4},
+		{ID: "fig5", Title: "Fig 5: asymmetric CMP design space", Run: Fig5},
+		{ID: "fig6", Title: "Fig 6: reduction fraction split-up", Run: Fig6},
+		{ID: "fig7", Title: "Fig 7: communication-aware model", Run: Fig7},
+		{ID: "abl-growth", Title: "Ablation: growth-function choice", Run: AblGrowth},
+		{ID: "abl-topology", Title: "Ablation: interconnect topology (Eq. 8)", Run: AblTopology},
+		{ID: "abl-strategy", Title: "Ablation: reduction strategies", Run: AblStrategy},
+		{ID: "abl-budget", Title: "Ablation: BCE budget scaling", Run: AblBudget},
+		{ID: "ext-critical", Title: "Extension: combined critical-section model", Run: ExtCritical},
+		{ID: "ext-locking", Title: "Extension: privatized vs locked reductions", Run: ExtLocking},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (use one of %v)", id, IDs())
+}
+
+// IDs lists the registered experiment ids.
+func IDs() []string {
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// simCoreCounts returns the core-count grid used by the simulation
+// experiments (the paper simulates up to 16 cores).
+func simCoreCounts(opt Options) []int {
+	if opt.Quick {
+		return []int{1, 2, 4, 8}
+	}
+	return []int{1, 2, 4, 8, 16}
+}
+
+// simScale divides point counts for simulation. The merge work is not
+// scaled, so the serial-growth *shape* is preserved at any scale; the full
+// run simulates the unscaled data sets so that the absolute serial
+// percentages are comparable to the paper's Table II.
+func simScale(opt Options) int {
+	if opt.Quick {
+		return 16
+	}
+	return 1
+}
+
+// workloadSet builds the three benchmarks with iteration counts sized for
+// the option set.
+func workloadSet(opt Options) []workload.Workload {
+	iters := 10
+	if opt.Quick {
+		iters = 3
+	}
+	km := kmeans.New()
+	km.Cfg.Iters = iters
+	fz := fuzzy.New()
+	fz.Cfg.Iters = iters
+	return []workload.Workload{km, fz, hop.New()}
+}
+
+// datasetFor generates the default data set of a workload, shrunk in quick
+// mode.
+func datasetFor(w workload.Workload, opt Options) (*datagen.Dataset, error) {
+	spec := w.DefaultSpec()
+	if opt.Quick {
+		spec.N /= 8
+		if spec.N < 1024 {
+			spec.N = 1024
+		}
+	}
+	return datagen.Generate(spec)
+}
+
+// nativeThreadCounts returns the thread grid for native runs (the paper's
+// hardware validation uses up to 8 cores on the Xeon E5520).
+func nativeThreadCounts(opt Options) []int {
+	if opt.Quick {
+		return []int{1, 2, 4}
+	}
+	return []int{1, 2, 4, 8}
+}

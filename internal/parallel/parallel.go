@@ -1,0 +1,216 @@
+// Package parallel is the native execution runtime used by the workload
+// implementations: a fixed pool of long-lived workers (one per simulated
+// thread), static-chunk parallel-for, a reusable barrier, and privatized
+// per-thread reduction buffers.
+//
+// The MineBench applications the paper studies are pthreads programs with a
+// fork-join structure per iteration: a parallel phase over the data points,
+// a barrier, and a merging phase that combines per-thread partial results.
+// This package reproduces that structure with goroutines. Workers are
+// created once and reused across phases so that per-iteration timing
+// measures the algorithm, not goroutine creation.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Pool is a fixed-size team of worker goroutines identified by ids
+// 0..Threads-1. The zero value is not usable; call NewPool.
+type Pool struct {
+	threads int
+	work    []chan func(id int)
+	done    chan int
+	wg      sync.WaitGroup
+	closed  bool
+	mu      sync.Mutex
+}
+
+// NewPool starts a team of n workers. It returns an error when n < 1.
+func NewPool(n int) (*Pool, error) {
+	if n < 1 {
+		return nil, errors.New("parallel: pool size must be >= 1")
+	}
+	p := &Pool{
+		threads: n,
+		work:    make([]chan func(int), n),
+		done:    make(chan int, n),
+	}
+	for i := 0; i < n; i++ {
+		p.work[i] = make(chan func(int), 1)
+		p.wg.Add(1)
+		go p.worker(i)
+	}
+	return p, nil
+}
+
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	for fn := range p.work[id] {
+		fn(id)
+		p.done <- id
+	}
+}
+
+// Threads returns the team size.
+func (p *Pool) Threads() int { return p.threads }
+
+// Run executes fn(id) on every worker and blocks until all complete.
+// It panics if the pool has been closed (programming error, like using a
+// closed channel).
+func (p *Pool) Run(fn func(id int)) {
+	for i := 0; i < p.threads; i++ {
+		p.work[i] <- fn
+	}
+	for i := 0; i < p.threads; i++ {
+		<-p.done
+	}
+}
+
+// Close shuts the workers down. The pool must not be used afterwards.
+// Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for i := range p.work {
+		close(p.work[i])
+	}
+	p.wg.Wait()
+}
+
+// Range describes the half-open index interval [Lo, Hi) a worker owns.
+type Range struct{ Lo, Hi int }
+
+// Split statically partitions n items across t threads as evenly as
+// possible: the first n%t chunks receive one extra item, mirroring the
+// OpenMP static schedule MineBench uses.
+func Split(n, t int) []Range {
+	if t < 1 {
+		t = 1
+	}
+	out := make([]Range, t)
+	base := n / t
+	rem := n % t
+	lo := 0
+	for i := 0; i < t; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = Range{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return out
+}
+
+// For runs body(id, lo, hi) on every worker with the static partition of n
+// items and blocks until all chunks are done.
+func (p *Pool) For(n int, body func(id, lo, hi int)) {
+	ranges := Split(n, p.threads)
+	p.Run(func(id int) {
+		r := ranges[id]
+		if r.Lo < r.Hi {
+			body(id, r.Lo, r.Hi)
+		}
+	})
+}
+
+// Barrier is a reusable sense-reversing barrier for a fixed number of
+// parties. It mirrors the pthread barrier the original benchmarks use when
+// a parallel phase is followed by a merge executed by one thread.
+type Barrier struct {
+	parties int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	count   int
+	sense   bool
+}
+
+// NewBarrier creates a barrier for n parties; n must be >= 1.
+func NewBarrier(n int) (*Barrier, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("parallel: barrier parties must be >= 1, got %d", n)
+	}
+	b := &Barrier{parties: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b, nil
+}
+
+// Wait blocks until all parties have called Wait. It returns true for
+// exactly one caller per generation (the "serial thread", analogous to
+// PTHREAD_BARRIER_SERIAL_THREAD), which the workloads use to elect the
+// merging thread.
+func (b *Barrier) Wait() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	mySense := b.sense
+	b.count++
+	if b.count == b.parties {
+		b.count = 0
+		b.sense = !b.sense
+		b.cond.Broadcast()
+		return true
+	}
+	for b.sense == mySense {
+		b.cond.Wait()
+	}
+	return false
+}
+
+// Parties returns the number of participants.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Privatized holds per-thread partial-result buffers for a reduction over
+// `width` float64 elements: the "partial_centers" arrays of Algorithm 1.
+type Privatized struct {
+	width int
+	bufs  [][]float64
+}
+
+// NewPrivatized allocates t buffers of the given width.
+func NewPrivatized(t, width int) *Privatized {
+	bufs := make([][]float64, t)
+	for i := range bufs {
+		bufs[i] = make([]float64, width)
+	}
+	return &Privatized{width: width, bufs: bufs}
+}
+
+// Buf returns thread id's private buffer.
+func (pv *Privatized) Buf(id int) []float64 { return pv.bufs[id] }
+
+// Width returns the element count per buffer.
+func (pv *Privatized) Width() int { return pv.width }
+
+// Threads returns the number of buffers.
+func (pv *Privatized) Threads() int { return len(pv.bufs) }
+
+// Reset zeroes every buffer; called at the top of each iteration.
+func (pv *Privatized) Reset() {
+	for _, b := range pv.bufs {
+		for i := range b {
+			b[i] = 0
+		}
+	}
+}
+
+// MergeInto accumulates every private buffer into dst (the merging phase of
+// Algorithm 1: for each cluster, for each thread, add the partial result).
+// dst must have length Width. It returns the number of additions performed,
+// which grows linearly with the thread count — the effect the paper models.
+func (pv *Privatized) MergeInto(dst []float64) int {
+	ops := 0
+	for _, b := range pv.bufs {
+		for i, v := range b {
+			dst[i] += v
+			ops++
+		}
+	}
+	return ops
+}

@@ -1,0 +1,325 @@
+// Package report renders experiment output as ASCII tables, CSV, and
+// simple ASCII line charts, so every table and figure of the paper can be
+// regenerated on a terminal without plotting dependencies.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row, formatting each value with %v (floats with %g
+// should be pre-formatted by the caller; this is a convenience for mixed
+// rows).
+func (t *Table) AddRowf(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = FormatFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// magnitudes with enough precision to be meaningful.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 0):
+		return "Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	total := len(widths)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as RFC-4180-ish CSV (quoting cells that need it).
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a titled collection of series rendered as an ASCII plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	Series []Series
+}
+
+// markers cycles through per-series plot glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart onto a fixed-size character grid. The rendering
+// is intentionally simple: each point maps to one cell; later series
+// overwrite earlier ones on collisions.
+func (c *Chart) Render(w io.Writer) error {
+	const width, height = 64, 16
+	if len(c.Series) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(empty chart)\n", c.Title)
+		return err
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	tx := func(v float64) float64 {
+		if c.LogX && v > 0 {
+			return math.Log2(v)
+		}
+		return v
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), s.Y[i]
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			px := int((tx(s.X[i]) - minX) / (maxX - minX) * float64(width-1))
+			py := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - py
+			if row >= 0 && row < height && px >= 0 && px < width {
+				grid[row][px] = m
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s (max %.4g)\n", c.YLabel, maxY); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "| %s\n", string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "+%s\n", strings.Repeat("-", width+1)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %s: %.4g .. %.4g (min y %.4g)\n", c.XLabel, minXOrig(c), maxXOrig(c), minY); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "  legend: %s\n", strings.Join(legend, "  "))
+	return err
+}
+
+func minXOrig(c *Chart) float64 {
+	m := math.Inf(1)
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			m = math.Min(m, x)
+		}
+	}
+	return m
+}
+
+func maxXOrig(c *Chart) float64 {
+	m := math.Inf(-1)
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			m = math.Max(m, x)
+		}
+	}
+	return m
+}
+
+// Document is the output of one experiment: any number of tables and
+// charts plus free-form notes (paper-vs-measured comparisons).
+type Document struct {
+	ID     string
+	Title  string
+	Tables []*Table
+	Charts []*Chart
+	Notes  []string
+}
+
+// AddTable appends and returns a new table.
+func (d *Document) AddTable(title string, columns ...string) *Table {
+	t := &Table{Title: title, Columns: columns}
+	d.Tables = append(d.Tables, t)
+	return t
+}
+
+// AddChart appends and returns a new chart.
+func (d *Document) AddChart(title, xlabel, ylabel string, logX bool) *Chart {
+	c := &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, LogX: logX}
+	d.Charts = append(d.Charts, c)
+	return c
+}
+
+// AddNote appends a formatted note line.
+func (d *Document) AddNote(format string, args ...interface{}) {
+	d.Notes = append(d.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the whole document.
+func (d *Document) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n\n", d.ID, d.Title); err != nil {
+		return err
+	}
+	for _, t := range d.Tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, c := range d.Charts {
+		if err := c.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, n := range d.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes every table in the document as CSV separated by blank lines.
+func (d *Document) CSV(w io.Writer) error {
+	for _, t := range d.Tables {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+		if err := t.CSV(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortedKeys returns the sorted keys of an int-keyed map — a helper used
+// by experiments printing per-core-count columns.
+func SortedKeys(m map[int]float64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,180 @@
+package sim
+
+// MESI line states. The directory tracks which L1s hold each line and
+// whether one of them owns it in Modified state.
+type mesiState uint8
+
+const (
+	stateInvalid mesiState = iota
+	stateShared
+	stateExclusive
+	stateModified
+)
+
+func (s mesiState) String() string {
+	switch s {
+	case stateInvalid:
+		return "I"
+	case stateShared:
+		return "S"
+	case stateExclusive:
+		return "E"
+	case stateModified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// cacheLine is one way of one set.
+type cacheLine struct {
+	tag     uint64
+	state   mesiState
+	lastUse uint64 // LRU timestamp
+}
+
+// cache is a set-associative cache with true-LRU replacement. Addresses are
+// line addresses (byte address >> lineShift); the cache is a tag store
+// only — the simulator carries no data.
+type cache struct {
+	sets    int
+	ways    int
+	setMask uint64
+	lines   []cacheLine // sets*ways, set-major
+	tick    uint64      // LRU clock
+}
+
+func newCache(sizeBytes, ways, lineSz int) *cache {
+	linesTotal := sizeBytes / lineSz
+	sets := linesTotal / ways
+	return &cache{
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		lines:   make([]cacheLine, linesTotal),
+	}
+}
+
+func (c *cache) set(lineAddr uint64) []cacheLine {
+	idx := int(lineAddr&c.setMask) * c.ways
+	return c.lines[idx : idx+c.ways]
+}
+
+// lookup returns the line holding lineAddr, or nil on miss. A hit updates
+// the LRU clock.
+func (c *cache) lookup(lineAddr uint64) *cacheLine {
+	c.tick++
+	set := c.set(lineAddr)
+	tag := lineAddr / uint64(c.sets)
+	for i := range set {
+		if set[i].state != stateInvalid && set[i].tag == tag {
+			set[i].lastUse = c.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert places lineAddr in the cache with the given state, evicting the
+// LRU way if needed. It returns the evicted line address and its state
+// (stateInvalid when no valid line was evicted).
+func (c *cache) insert(lineAddr uint64, st mesiState) (evictedAddr uint64, evictedState mesiState) {
+	c.tick++
+	set := c.set(lineAddr)
+	tag := lineAddr / uint64(c.sets)
+	victim := 0
+	for i := range set {
+		if set[i].state == stateInvalid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	ev := set[victim]
+	set[victim] = cacheLine{tag: tag, state: st, lastUse: c.tick}
+	if ev.state == stateInvalid {
+		return 0, stateInvalid
+	}
+	evictedLineAddr := ev.tag*uint64(c.sets) + (lineAddr & c.setMask)
+	return evictedLineAddr, ev.state
+}
+
+// invalidate drops lineAddr if present, returning its previous state.
+func (c *cache) invalidate(lineAddr uint64) mesiState {
+	set := c.set(lineAddr)
+	tag := lineAddr / uint64(c.sets)
+	for i := range set {
+		if set[i].state != stateInvalid && set[i].tag == tag {
+			st := set[i].state
+			set[i].state = stateInvalid
+			return st
+		}
+	}
+	return stateInvalid
+}
+
+// downgrade moves lineAddr to Shared if present in E/M, returning its
+// previous state.
+func (c *cache) downgrade(lineAddr uint64) mesiState {
+	set := c.set(lineAddr)
+	tag := lineAddr / uint64(c.sets)
+	for i := range set {
+		if set[i].state != stateInvalid && set[i].tag == tag {
+			st := set[i].state
+			if st == stateExclusive || st == stateModified {
+				set[i].state = stateShared
+			}
+			return st
+		}
+	}
+	return stateInvalid
+}
+
+// countValid returns the number of valid lines (test hook).
+func (c *cache) countValid() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].state != stateInvalid {
+			n++
+		}
+	}
+	return n
+}
+
+// dirEntry is the full-map directory record for one line. L2 residency is
+// tracked by the L2 cache structure itself, not the directory.
+type dirEntry struct {
+	sharers uint64 // bitmask of L1s holding the line
+	owner   int8   // core owning in M/E, -1 when none
+}
+
+// directory tracks L1 residency for every line touched so far.
+type directory struct {
+	entries map[uint64]*dirEntry
+}
+
+func newDirectory() *directory {
+	return &directory{entries: make(map[uint64]*dirEntry)}
+}
+
+func (d *directory) get(lineAddr uint64) *dirEntry {
+	e, ok := d.entries[lineAddr]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		d.entries[lineAddr] = e
+	}
+	return e
+}
+
+func (e *dirEntry) addSharer(core int)      { e.sharers |= 1 << uint(core) }
+func (e *dirEntry) dropSharer(core int)     { e.sharers &^= 1 << uint(core) }
+func (e *dirEntry) hasSharer(core int) bool { return e.sharers&(1<<uint(core)) != 0 }
+func (e *dirEntry) sharerCount() int {
+	n := 0
+	for m := e.sharers; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}

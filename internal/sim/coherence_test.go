@@ -1,0 +1,199 @@
+package sim
+
+import "testing"
+
+// These tests exercise the MESI protocol paths end-to-end through the
+// machine, complementing the unit tests on the raw cache structures.
+
+func run2(t *testing.T, build func(b *Builder)) Result {
+	t.Helper()
+	m := mustMachine(t, 2)
+	b := NewBuilder(2)
+	build(b)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestExclusiveSilentUpgrade(t *testing.T) {
+	// A core that read a line nobody else has (Exclusive) upgrades to
+	// Modified without invalidations.
+	res := run2(t, func(b *Builder) {
+		b.Load(0, 0)
+		b.Store(0, 0)
+		b.Barrier()
+	})
+	if res.Counters.Invalidations != 0 {
+		t.Errorf("E->M upgrade should be silent, got %d invalidations", res.Counters.Invalidations)
+	}
+	if res.Counters.L1Misses != 1 {
+		t.Errorf("expected a single cold miss, got %d", res.Counters.L1Misses)
+	}
+}
+
+func TestReadSharingNoInvalidation(t *testing.T) {
+	res := run2(t, func(b *Builder) {
+		b.Load(0, 0)
+		b.Load(1, 0)
+		b.Barrier()
+		b.Load(0, 0)
+		b.Load(1, 0)
+		b.Barrier()
+	})
+	if res.Counters.Invalidations != 0 {
+		t.Errorf("read sharing should not invalidate, got %d", res.Counters.Invalidations)
+	}
+	if res.Counters.L1Hits != 2 {
+		t.Errorf("second round should hit both L1s, got %d hits", res.Counters.L1Hits)
+	}
+}
+
+func TestWriteAfterRemoteWriteTransfersOwnership(t *testing.T) {
+	// Ping-pong writes between two cores: each write after the first must
+	// intervene on the remote Modified copy.
+	res := run2(t, func(b *Builder) {
+		b.Store(0, 0)
+		b.Barrier()
+		b.Store(1, 0)
+		b.Barrier()
+		b.Store(0, 0)
+		b.Barrier()
+	})
+	if res.Counters.C2CTransfers != 2 {
+		t.Errorf("expected 2 ownership transfers, got %d", res.Counters.C2CTransfers)
+	}
+}
+
+func TestReadAfterRemoteWriteDowngrades(t *testing.T) {
+	// After core 1 reads core 0's Modified line, core 0's copy is Shared:
+	// a second read by core 1 hits its own L1; core 0 re-writing must now
+	// invalidate core 1's copy.
+	res := run2(t, func(b *Builder) {
+		b.Store(0, 0)
+		b.Barrier()
+		b.Load(1, 0)
+		b.Load(1, 0) // L1 hit
+		b.Barrier()
+		b.Store(0, 0) // S->M upgrade, invalidates core 1
+		b.Barrier()
+	})
+	if res.Counters.C2CTransfers != 1 {
+		t.Errorf("expected 1 c2c transfer, got %d", res.Counters.C2CTransfers)
+	}
+	if res.Counters.Invalidations != 1 {
+		t.Errorf("expected 1 invalidation on re-write, got %d", res.Counters.Invalidations)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	// Writing more same-set lines than L1 associativity forces dirty
+	// evictions: with 64KB 4-way 64B lines there are 256 sets; addresses
+	// stride 256*64 bytes map to one set.
+	cfg := DefaultConfig(1)
+	m, _ := NewMachine(cfg)
+	b := NewBuilder(1)
+	setStride := uint64(cfg.L1Size / cfg.L1Ways) // bytes covering all sets once
+	for i := uint64(0); i < 6; i++ {             // 6 > 4 ways
+		b.Store(0, i*setStride)
+	}
+	prog, _ := b.Build()
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.WriteBacks != 2 {
+		t.Errorf("expected 2 dirty writebacks (6 lines, 4 ways), got %d", res.Counters.WriteBacks)
+	}
+}
+
+func TestInclusiveL2BackInvalidation(t *testing.T) {
+	// Thrash the L2 with enough distinct lines to evict an L1-resident
+	// line: the L1 copy must be back-invalidated (inclusive hierarchy), so
+	// re-reading it misses.
+	cfg := DefaultConfig(1)
+	cfg.L2Size = 8 << 10 // tiny L2: 128 lines
+	cfg.L2Ways = 2
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(1)
+	b.Load(0, 0)
+	for i := uint64(1); i <= 4096; i++ {
+		b.Load(0, i*64)
+	}
+	b.Load(0, 0) // line 0 must have been back-invalidated
+	prog, _ := b.Build()
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.L2Evictions == 0 {
+		t.Fatal("tiny L2 should evict")
+	}
+	// The final access to line 0 must be a miss (4098 accesses, at most
+	// the middle ones can hit).
+	if res.Counters.L1Hits != 0 {
+		t.Errorf("expected no L1 hits after back-invalidation, got %d", res.Counters.L1Hits)
+	}
+}
+
+func TestFalseSharingCostsMoreThanPrivateLines(t *testing.T) {
+	// Two cores alternately writing the same line must be slower than the
+	// same writes to different lines — the classic false-sharing effect
+	// the merging phase suffers from.
+	shared := run2(t, func(b *Builder) {
+		for i := 0; i < 16; i++ {
+			b.Store(0, 0)
+			b.Barrier()
+			b.Store(1, 8) // same 64B line
+			b.Barrier()
+		}
+	})
+	private := run2(t, func(b *Builder) {
+		for i := 0; i < 16; i++ {
+			b.Store(0, 0)
+			b.Barrier()
+			b.Store(1, 128) // different line
+			b.Barrier()
+		}
+	})
+	if shared.Cycles <= private.Cycles {
+		t.Errorf("false sharing (%d cy) should cost more than private lines (%d cy)",
+			shared.Cycles, private.Cycles)
+	}
+}
+
+func TestMeshDistanceAffectsTransferLatency(t *testing.T) {
+	// A cache-to-cache transfer between distant mesh nodes must take
+	// longer than between adjacent ones. On a 16-core (4x4) mesh, cores 0
+	// and 1 are adjacent; cores 0 and 15 are 6 hops apart.
+	lat := func(owner int) uint64 {
+		m := mustMachine(t, 16)
+		b := NewBuilder(16)
+		b.Store(owner, 0)
+		b.Barrier()
+		b.Load(0, 0)
+		b.Barrier()
+		prog, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	near := lat(1)
+	far := lat(15)
+	if far <= near {
+		t.Errorf("far transfer (%d cy) should exceed near transfer (%d cy)", far, near)
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import "testing"
+
+func TestDefaultConfigValid(t *testing.T) {
+	for _, cores := range []int{1, 2, 4, 8, 16, 32, 64} {
+		cfg := DefaultConfig(cores)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("DefaultConfig(%d) invalid: %v", cores, err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig(4)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero cores", func(c *Config) { c.Cores = 0 }},
+		{"too many cores", func(c *Config) { c.Cores = 65 }},
+		{"zero issue", func(c *Config) { c.IssueWidth = 0 }},
+		{"bad line size", func(c *Config) { c.LineSz = 48 }},
+		{"zero L1", func(c *Config) { c.L1Size = 0 }},
+		{"bad L1 geometry", func(c *Config) { c.L1Ways = 7 }},
+		{"non-pow2 sets", func(c *Config) { c.L1Size = 3 << 10; c.L1Ways = 1 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestLineShift(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if cfg.lineShift() != 6 {
+		t.Errorf("lineShift for 64B = %d, want 6", cfg.lineShift())
+	}
+	cfg.LineSz = 32
+	if cfg.lineShift() != 5 {
+		t.Errorf("lineShift for 32B = %d, want 5", cfg.lineShift())
+	}
+}

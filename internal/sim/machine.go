@@ -1,0 +1,366 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mergescale/internal/topology"
+)
+
+// Counters aggregates event counts over a simulation run.
+type Counters struct {
+	L1Hits        uint64
+	L1Misses      uint64
+	L2Hits        uint64
+	L2Misses      uint64
+	C2CTransfers  uint64 // cache-to-cache interventions (remote M copy)
+	Invalidations uint64 // L1 lines invalidated by remote writes
+	WriteBacks    uint64 // dirty L1 evictions written back to L2
+	L2Evictions   uint64 // valid L2 victims (inclusive back-invalidation)
+	Barriers      uint64
+	Loads         uint64
+	Stores        uint64
+	ComputeOps    uint64
+}
+
+// PhaseTime records the wall-clock cycles spent in one dynamic phase
+// instance (phases may repeat, e.g. "parallel" once per iteration).
+type PhaseTime struct {
+	Name   string
+	Cycles uint64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Cycles   uint64      // total wall-clock cycles (max over cores)
+	Phases   []PhaseTime // dynamic phase sequence
+	Counters Counters
+	CoreTime []uint64 // final per-core clocks
+}
+
+// PhaseCycles sums the wall-clock cycles of all dynamic instances of the
+// named phase.
+func (r Result) PhaseCycles(name string) uint64 {
+	var sum uint64
+	for _, p := range r.Phases {
+		if p.Name == name {
+			sum += p.Cycles
+		}
+	}
+	return sum
+}
+
+// PhaseNames returns the distinct phase names in first-appearance order.
+func (r Result) PhaseNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, p := range r.Phases {
+		if !seen[p.Name] {
+			seen[p.Name] = true
+			names = append(names, p.Name)
+		}
+	}
+	return names
+}
+
+// Machine simulates one CMP configuration. A Machine is single-use: create
+// with NewMachine, call Run once. (Caches and directory state are part of
+// the run.)
+type Machine struct {
+	cfg    Config
+	net    topology.Network
+	l1     []*cache
+	l2     *cache
+	dir    *directory
+	l2Hops uint64 // average requester-to-L2-bank distance, cycles already folded in access()
+	ran    bool
+}
+
+// NewMachine builds a machine for the configuration.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := topology.New(topology.Mesh2D, cfg.Cores)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, net: net, dir: newDirectory()}
+	m.l1 = make([]*cache, cfg.Cores)
+	for i := range m.l1 {
+		m.l1[i] = newCache(cfg.L1Size, cfg.L1Ways, cfg.LineSz)
+	}
+	m.l2 = newCache(cfg.L2Size, cfg.L2Ways, cfg.LineSz)
+	m.l2Hops = uint64(math.Ceil(net.AvgHops()))
+	return m, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+type coreState struct {
+	time    uint64
+	pc      int
+	blocked bool
+}
+
+// Run executes the program to completion and returns per-phase timing.
+func (m *Machine) Run(prog *Program) (Result, error) {
+	if m.ran {
+		return Result{}, errors.New("sim: Machine is single-use; create a new one per run")
+	}
+	m.ran = true
+	if err := prog.Validate(); err != nil {
+		return Result{}, err
+	}
+	if prog.Cores() != m.cfg.Cores {
+		return Result{}, fmt.Errorf("sim: program has %d streams, machine has %d cores", prog.Cores(), m.cfg.Cores)
+	}
+
+	cores := make([]coreState, m.cfg.Cores)
+	res := Result{CoreTime: make([]uint64, m.cfg.Cores)}
+	arrivals := 0
+	phaseName := ""
+	var phaseStart uint64
+
+	closePhase := func(now uint64) {
+		if phaseName != "" {
+			res.Phases = append(res.Phases, PhaseTime{Name: phaseName, Cycles: now - phaseStart})
+		}
+	}
+
+	remaining := 0
+	for id := range prog.Streams {
+		if len(prog.Streams[id]) > 0 {
+			remaining++
+		}
+	}
+
+	for remaining > 0 {
+		// Pick the lowest-time unblocked core with ops left (tie: lowest id).
+		sel := -1
+		for id := range cores {
+			c := &cores[id]
+			if c.blocked || c.pc >= len(prog.Streams[id]) {
+				continue
+			}
+			if sel == -1 || c.time < cores[sel].time {
+				sel = id
+			}
+		}
+		if sel == -1 {
+			return Result{}, errors.New("sim: deadlock — all live cores blocked at a barrier")
+		}
+		c := &cores[sel]
+		op := prog.Streams[sel][c.pc]
+		c.pc++
+
+		switch op.Kind {
+		case OpCompute:
+			res.Counters.ComputeOps += op.N
+			w := uint64(m.cfg.IssueWidth)
+			c.time += (op.N + w - 1) / w
+		case OpLoad:
+			res.Counters.Loads++
+			c.time += m.access(sel, op.Addr, false, &res.Counters)
+		case OpStore:
+			res.Counters.Stores++
+			c.time += m.access(sel, op.Addr, true, &res.Counters)
+		case OpPhase:
+			closePhase(c.time)
+			phaseName = op.Phase
+			phaseStart = c.time
+		case OpBarrier:
+			c.blocked = true
+			arrivals++
+			if arrivals == m.cfg.Cores {
+				var maxT uint64
+				for id := range cores {
+					if cores[id].time > maxT {
+						maxT = cores[id].time
+					}
+				}
+				release := maxT + m.cfg.BarLat
+				for id := range cores {
+					cores[id].time = release
+					cores[id].blocked = false
+				}
+				arrivals = 0
+				res.Counters.Barriers++
+			}
+		}
+		if c.pc >= len(prog.Streams[sel]) {
+			remaining--
+		}
+	}
+
+	var wall uint64
+	for id := range cores {
+		res.CoreTime[id] = cores[id].time
+		if cores[id].time > wall {
+			wall = cores[id].time
+		}
+	}
+	closePhase(wall)
+	res.Cycles = wall
+	return res, nil
+}
+
+// access performs one memory operation for core `id` and returns its
+// latency in cycles, updating caches, directory and counters.
+func (m *Machine) access(id int, addr uint64, write bool, ctr *Counters) uint64 {
+	line := addr >> m.cfg.lineShift()
+	l1 := m.l1[id]
+	e := m.dir.get(line)
+	lat := m.cfg.L1Lat
+
+	if hit := l1.lookup(line); hit != nil {
+		ctr.L1Hits++
+		if !write {
+			return lat // read hit in any valid state
+		}
+		switch hit.state {
+		case stateModified:
+			return lat
+		case stateExclusive:
+			hit.state = stateModified
+			e.owner = int8(id)
+			return lat
+		case stateShared:
+			// Upgrade: invalidate all other sharers.
+			lat += m.invalidateOthers(id, line, e, ctr)
+			hit.state = stateModified
+			e.owner = int8(id)
+			e.sharers = 1 << uint(id)
+			return lat
+		}
+	}
+	ctr.L1Misses++
+
+	// Remote M copy? Intervene with a cache-to-cache transfer.
+	if e.owner >= 0 && int(e.owner) != id {
+		owner := int(e.owner)
+		if st := m.l1[owner].lookup(line); st != nil && (st.state == stateModified || st.state == stateExclusive) {
+			dist, _ := m.net.HopDistance(id, owner)
+			lat += m.cfg.XferLat + m.cfg.HopLat*uint64(dist)
+			ctr.C2CTransfers++
+			if write {
+				m.l1[owner].invalidate(line)
+				e.dropSharer(owner)
+				ctr.Invalidations++
+			} else {
+				m.l1[owner].downgrade(line)
+				e.addSharer(owner)
+			}
+			e.owner = -1
+			m.installL2(line, ctr) // dirty data written back to L2
+			m.installL1(id, line, write, e, ctr)
+			if write {
+				e.owner = int8(id)
+				e.sharers = 1 << uint(id)
+			} else {
+				e.addSharer(id)
+			}
+			return lat
+		}
+		// Stale owner record (line was evicted silently): fall through.
+		e.owner = -1
+	}
+
+	if write {
+		lat += m.invalidateOthers(id, line, e, ctr)
+	}
+
+	// L2 (shared, at average mesh distance).
+	lat += m.cfg.L2Lat + m.cfg.HopLat*m.l2Hops
+	if m.l2.lookup(line) != nil {
+		ctr.L2Hits++
+	} else {
+		ctr.L2Misses++
+		lat += m.cfg.MemLat
+		m.installL2(line, ctr)
+	}
+
+	m.installL1(id, line, write, e, ctr)
+	if write {
+		e.owner = int8(id)
+		e.sharers = 1 << uint(id)
+	} else {
+		if e.sharerCount() == 0 {
+			e.owner = int8(id) // exclusive
+		}
+		e.addSharer(id)
+	}
+	return lat
+}
+
+// invalidateOthers invalidates every other L1 copy of line, returning the
+// added latency.
+func (m *Machine) invalidateOthers(id int, line uint64, e *dirEntry, ctr *Counters) uint64 {
+	var lat uint64
+	for core := 0; core < m.cfg.Cores; core++ {
+		if core == id || !e.hasSharer(core) {
+			continue
+		}
+		if st := m.l1[core].invalidate(line); st != stateInvalid {
+			lat += m.cfg.InvLat
+			ctr.Invalidations++
+			if st == stateModified {
+				m.installL2(line, ctr)
+				ctr.WriteBacks++
+			}
+		}
+		e.dropSharer(core)
+	}
+	if e.owner >= 0 && int(e.owner) != id {
+		e.owner = -1
+	}
+	return lat
+}
+
+// installL1 inserts line into core id's L1 with the proper state, handling
+// the eviction side effects (directory update, dirty writeback).
+func (m *Machine) installL1(id int, line uint64, write bool, e *dirEntry, ctr *Counters) {
+	st := stateShared
+	if write {
+		st = stateModified
+	} else if e.sharerCount() == 0 {
+		st = stateExclusive
+	}
+	evAddr, evState := m.l1[id].insert(line, st)
+	if evState == stateInvalid {
+		return
+	}
+	ev := m.dir.get(evAddr)
+	ev.dropSharer(id)
+	if ev.owner == int8(id) {
+		ev.owner = -1
+	}
+	if evState == stateModified {
+		ctr.WriteBacks++
+		m.installL2(evAddr, ctr)
+	}
+}
+
+// installL2 ensures line is present in the (inclusive) L2, back-invalidating
+// L1 copies of any valid victim.
+func (m *Machine) installL2(line uint64, ctr *Counters) {
+	if m.l2.lookup(line) != nil {
+		return
+	}
+	evAddr, evState := m.l2.insert(line, stateShared)
+	if evState == stateInvalid {
+		return
+	}
+	ctr.L2Evictions++
+	ev := m.dir.get(evAddr)
+	for core := 0; core < m.cfg.Cores; core++ {
+		if ev.hasSharer(core) {
+			m.l1[core].invalidate(evAddr)
+			ctr.Invalidations++
+		}
+	}
+	ev.sharers = 0
+	ev.owner = -1
+}

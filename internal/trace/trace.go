@@ -1,0 +1,238 @@
+// Package trace provides the phase instrumentation and parameter extraction
+// used in Section IV/V-A of the paper: workload runs are split into
+// initialization, parallel, reduction (merging) and serial sections, and
+// the model parameters f, fcon, fcred and fored are extracted from profiles
+// collected at several thread counts.
+//
+// Profiles carry two measures per section:
+//
+//   - Work: a deterministic operation count (flops + memory ops) that is
+//     immune to GC/scheduler noise — the default basis for parameter
+//     extraction (see DESIGN.md on the hardware-validation substitution);
+//   - Duration: wall-clock time, used by the native "real hardware"
+//     validation experiment (Figure 2(c)).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"mergescale/internal/core"
+	"mergescale/internal/stats"
+)
+
+// Section identifies one accounting bucket.
+type Section int
+
+const (
+	// SecInit is one-time setup excluded from the serial fraction, as the
+	// paper subtracts initialization when computing serial time.
+	SecInit Section = iota
+	// SecParallel is the fully parallel phase.
+	SecParallel
+	// SecReduction is the merging phase (Algorithm 1).
+	SecReduction
+	// SecSerial is the remaining constant serial section.
+	SecSerial
+	numSections
+)
+
+// Sections lists all sections in canonical order.
+func Sections() []Section {
+	return []Section{SecInit, SecParallel, SecReduction, SecSerial}
+}
+
+// String returns the section name.
+func (s Section) String() string {
+	switch s {
+	case SecInit:
+		return "init"
+	case SecParallel:
+		return "parallel"
+	case SecReduction:
+		return "reduction"
+	case SecSerial:
+		return "serial"
+	default:
+		return fmt.Sprintf("trace.Section(%d)", int(s))
+	}
+}
+
+// Profile accumulates per-section measurements for one run.
+type Profile struct {
+	Name     string
+	Threads  int
+	Work     [numSections]float64
+	Duration [numSections]time.Duration
+}
+
+// NewProfile creates a profile for a named run.
+func NewProfile(name string, threads int) *Profile {
+	return &Profile{Name: name, Threads: threads}
+}
+
+// AddWork adds op-count work to a section.
+func (p *Profile) AddWork(s Section, ops float64) { p.Work[s] += ops }
+
+// AddDuration adds wall time to a section.
+func (p *Profile) AddDuration(s Section, d time.Duration) { p.Duration[s] += d }
+
+// SectionWork returns the op count of one section.
+func (p *Profile) SectionWork(s Section) float64 { return p.Work[s] }
+
+// SectionDuration returns the wall time of one section.
+func (p *Profile) SectionDuration(s Section) time.Duration { return p.Duration[s] }
+
+// TotalWork returns all counted ops.
+func (p *Profile) TotalWork() float64 {
+	t := 0.0
+	for s := Section(0); s < numSections; s++ {
+		t += p.Work[s]
+	}
+	return t
+}
+
+// Timer measures a section's wall time and adds it to the profile on Stop.
+type Timer struct {
+	p     *Profile
+	s     Section
+	start time.Time
+}
+
+// StartTimer begins timing a section.
+func (p *Profile) StartTimer(s Section) *Timer {
+	return &Timer{p: p, s: s, start: time.Now()}
+}
+
+// Stop ends timing and accumulates the elapsed duration.
+func (t *Timer) Stop() { t.p.AddDuration(t.s, time.Since(t.start)) }
+
+// SerialWork returns the non-parallel, non-init work: reduction + serial.
+func (p *Profile) SerialWork() float64 { return p.Work[SecReduction] + p.Work[SecSerial] }
+
+// SerialDuration returns the wall-clock serial time (reduction + serial).
+func (p *Profile) SerialDuration() time.Duration {
+	return p.Duration[SecReduction] + p.Duration[SecSerial]
+}
+
+// ExtractOptions controls parameter extraction.
+type ExtractOptions struct {
+	// UseDuration extracts from wall-clock durations instead of op counts.
+	UseDuration bool
+	// Growth is the growth function assumed when fitting fored; the paper
+	// fits a linear function for all three applications.
+	Growth core.GrowthKind
+}
+
+// serialOf returns (reduction, serial, total) measures for a profile.
+func measures(p *Profile, useDuration bool) (red, ser, par, ini float64) {
+	if useDuration {
+		return float64(p.Duration[SecReduction]), float64(p.Duration[SecSerial]),
+			float64(p.Duration[SecParallel]), float64(p.Duration[SecInit])
+	}
+	return p.Work[SecReduction], p.Work[SecSerial], p.Work[SecParallel], p.Work[SecInit]
+}
+
+// Extract derives model parameters from a single-thread profile plus
+// profiles at higher thread counts, following the paper's methodology:
+//
+//   - f and fcon come from the single-core run: the serial fraction is
+//     (reduction+serial)/(total-init), fcon is serial's share of it;
+//   - fored comes from fitting reduction(p)/reduction(1) against the growth
+//     function across the multi-threaded profiles (the paper measures "the
+//     relative increase in reduction operation time over fcred").
+//
+// The returned AppParams carries the fitted growth kind. An error is
+// returned when no single-thread profile is present or the fit is
+// degenerate.
+func Extract(profiles []*Profile, opt ExtractOptions) (core.AppParams, error) {
+	if len(profiles) == 0 {
+		return core.AppParams{}, errors.New("trace: no profiles")
+	}
+	sorted := append([]*Profile(nil), profiles...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Threads < sorted[j].Threads })
+	base := sorted[0]
+	if base.Threads != 1 {
+		return core.AppParams{}, fmt.Errorf("trace: need a 1-thread profile, smallest is %d", base.Threads)
+	}
+	red1, ser1, par1, _ := measures(base, opt.UseDuration)
+	total := red1 + ser1 + par1
+	if total <= 0 {
+		return core.AppParams{}, errors.New("trace: empty base profile")
+	}
+	s := (red1 + ser1) / total
+	f := 1 - s
+	fcon := 0.0
+	if red1+ser1 > 0 {
+		fcon = ser1 / (red1 + ser1)
+	}
+
+	// Fit reduction growth: red(p)/red(1) = (1-fored) + fored*grow(p).
+	fored := 0.0
+	if red1 > 0 && len(sorted) > 1 {
+		var xs, ys []float64
+		for _, p := range sorted {
+			redP, _, _, _ := measures(p, opt.UseDuration)
+			xs = append(xs, opt.Growth.Grow(float64(p.Threads)))
+			ys = append(ys, redP/red1)
+		}
+		_, slope, _, err := stats.LinReg(xs, ys)
+		if err != nil {
+			return core.AppParams{}, fmt.Errorf("trace: fored fit failed: %w", err)
+		}
+		fored = slope
+	}
+	if fored < 0 {
+		fored = 0
+	}
+	if fored > 3 {
+		// The paper reports fored up to 155% for hop (superlinear growth);
+		// values beyond the model's validated domain are clamped.
+		fored = 3
+	}
+	ap := core.AppParams{Name: base.Name, F: f, FCon: fcon, FOred: fored, Growth: opt.Growth}
+	return ap, ap.Validate()
+}
+
+// GrowthSeries returns the serial-section measure of each profile
+// normalized to the 1-thread profile — the series plotted in Figures 2(b)
+// and 2(c). Profiles are sorted by thread count; the thread counts are
+// returned alongside.
+func GrowthSeries(profiles []*Profile, useDuration bool) (threads []int, norm []float64, err error) {
+	if len(profiles) == 0 {
+		return nil, nil, errors.New("trace: no profiles")
+	}
+	sorted := append([]*Profile(nil), profiles...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Threads < sorted[j].Threads })
+	if sorted[0].Threads != 1 {
+		return nil, nil, errors.New("trace: need a 1-thread profile")
+	}
+	red1, ser1, _, _ := measures(sorted[0], useDuration)
+	base := red1 + ser1
+	if base <= 0 {
+		return nil, nil, errors.New("trace: zero serial time in base profile")
+	}
+	for _, p := range sorted {
+		red, ser, _, _ := measures(p, useDuration)
+		threads = append(threads, p.Threads)
+		norm = append(norm, (red+ser)/base)
+	}
+	return threads, norm, nil
+}
+
+// ModelAccuracy returns model-predicted over measured serial growth for
+// each profile (the Figure 2(d) series): values near 1 mean the extended
+// model tracks the simulated/native serial-section growth.
+func ModelAccuracy(app core.AppParams, profiles []*Profile, useDuration bool) (threads []int, ratio []float64, err error) {
+	threads, norm, err := GrowthSeries(profiles, useDuration)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, th := range threads {
+		pred := app.SerialGrowthFactor(float64(th))
+		ratio = append(ratio, pred/norm[i])
+	}
+	return threads, ratio, nil
+}

@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mergescale/internal/core"
+)
+
+// synthProfile builds a profile for an application with known parameters:
+// total single-core work 1e6, serial fraction s split fcon/fred, and a
+// reduction that grows as (1-fored) + fored*p.
+func synthProfile(name string, threads int, s, fcon, fored float64) *Profile {
+	const total = 1e6
+	p := NewProfile(name, threads)
+	serialTotal := total * s
+	ser := serialTotal * fcon
+	red1 := serialTotal * (1 - fcon)
+	redP := red1 * ((1 - fored) + fored*float64(threads))
+	p.AddWork(SecParallel, total-serialTotal)
+	p.AddWork(SecSerial, ser)
+	p.AddWork(SecReduction, redP)
+	p.AddWork(SecInit, 1000) // init must be excluded
+	return p
+}
+
+func TestExtractRecoversKnownParams(t *testing.T) {
+	s, fcon, fored := 0.01, 0.6, 0.8
+	var profiles []*Profile
+	for _, th := range []int{1, 2, 4, 8, 16} {
+		profiles = append(profiles, synthProfile("synth", th, s, fcon, fored))
+	}
+	ap, err := Extract(profiles, ExtractOptions{Growth: core.GrowthLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ap.F-(1-s)) > 1e-9 {
+		t.Errorf("F = %g, want %g", ap.F, 1-s)
+	}
+	if math.Abs(ap.FCon-fcon) > 1e-9 {
+		t.Errorf("FCon = %g, want %g", ap.FCon, fcon)
+	}
+	if math.Abs(ap.FOred-fored) > 1e-9 {
+		t.Errorf("FOred = %g, want %g", ap.FOred, fored)
+	}
+	if ap.Name != "synth" || ap.Growth != core.GrowthLinear {
+		t.Errorf("metadata wrong: %+v", ap)
+	}
+}
+
+func TestExtractSingleProfileHasZeroFOred(t *testing.T) {
+	ap, err := Extract([]*Profile{synthProfile("one", 1, 0.02, 0.5, 0.7)},
+		ExtractOptions{Growth: core.GrowthLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.FOred != 0 {
+		t.Errorf("single profile cannot estimate fored, got %g", ap.FOred)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := Extract(nil, ExtractOptions{}); err == nil {
+		t.Error("empty profile list should fail")
+	}
+	// No 1-thread profile.
+	if _, err := Extract([]*Profile{synthProfile("x", 2, 0.01, 0.5, 0.5)}, ExtractOptions{}); err == nil {
+		t.Error("missing base profile should fail")
+	}
+	// Empty base profile.
+	if _, err := Extract([]*Profile{NewProfile("e", 1)}, ExtractOptions{}); err == nil {
+		t.Error("empty base profile should fail")
+	}
+}
+
+func TestExtractClampsSuperlinear(t *testing.T) {
+	// A quadratically growing reduction produces a fitted slope above the
+	// model's domain, which must be clamped to 3 (the paper's hop reports
+	// fored = 155%, i.e. values above 1 are legitimate).
+	var profiles []*Profile
+	for _, th := range []int{1, 2, 4, 8, 16} {
+		p := NewProfile("super", th)
+		p.AddWork(SecParallel, 1e6)
+		p.AddWork(SecSerial, 100)
+		p.AddWork(SecReduction, 100*float64(th*th))
+		profiles = append(profiles, p)
+	}
+	ap, err := Extract(profiles, ExtractOptions{Growth: core.GrowthLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.FOred != 3 {
+		t.Errorf("FOred = %g, want clamp at 3", ap.FOred)
+	}
+	if err := ap.Validate(); err != nil {
+		t.Errorf("clamped params should validate: %v", err)
+	}
+}
+
+func TestGrowthSeries(t *testing.T) {
+	var profiles []*Profile
+	for _, th := range []int{4, 1, 2} { // deliberately unsorted
+		profiles = append(profiles, synthProfile("g", th, 0.01, 0.5, 1.0))
+	}
+	threads, norm, err := GrowthSeries(profiles, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if threads[0] != 1 || threads[1] != 2 || threads[2] != 4 {
+		t.Fatalf("threads not sorted: %v", threads)
+	}
+	if norm[0] != 1 {
+		t.Errorf("base normalization wrong: %v", norm)
+	}
+	// fored=1, fcon=0.5: serial(p)/serial(1) = 0.5 + 0.5*p.
+	for i, th := range threads {
+		want := 0.5 + 0.5*float64(th)
+		if math.Abs(norm[i]-want) > 1e-9 {
+			t.Errorf("norm[%d] = %g, want %g", i, norm[i], want)
+		}
+	}
+}
+
+func TestModelAccuracyPerfectModel(t *testing.T) {
+	// When the model parameters exactly match the synthetic profiles, the
+	// accuracy ratio must be 1 at every thread count.
+	s, fcon, fored := 0.01, 0.6, 0.8
+	var profiles []*Profile
+	for _, th := range []int{1, 2, 4, 8} {
+		profiles = append(profiles, synthProfile("m", th, s, fcon, fored))
+	}
+	app := core.AppParams{Name: "m", F: 1 - s, FCon: fcon, FOred: fored, Growth: core.GrowthLinear}
+	_, ratio, err := ModelAccuracy(app, profiles, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ratio {
+		if math.Abs(r-1) > 1e-9 {
+			t.Errorf("ratio[%d] = %g, want 1", i, r)
+		}
+	}
+}
+
+func TestProfileAccessors(t *testing.T) {
+	p := NewProfile("acc", 3)
+	p.AddWork(SecParallel, 10)
+	p.AddWork(SecReduction, 5)
+	p.AddWork(SecSerial, 2)
+	p.AddWork(SecInit, 1)
+	if p.TotalWork() != 18 {
+		t.Errorf("TotalWork = %g", p.TotalWork())
+	}
+	if p.SerialWork() != 7 {
+		t.Errorf("SerialWork = %g", p.SerialWork())
+	}
+	if p.SectionWork(SecParallel) != 10 {
+		t.Errorf("SectionWork = %g", p.SectionWork(SecParallel))
+	}
+	p.AddDuration(SecReduction, 3*time.Millisecond)
+	p.AddDuration(SecSerial, time.Millisecond)
+	if p.SerialDuration() != 4*time.Millisecond {
+		t.Errorf("SerialDuration = %v", p.SerialDuration())
+	}
+	if p.SectionDuration(SecReduction) != 3*time.Millisecond {
+		t.Errorf("SectionDuration = %v", p.SectionDuration(SecReduction))
+	}
+}
+
+func TestTimerAccumulates(t *testing.T) {
+	p := NewProfile("t", 1)
+	timer := p.StartTimer(SecParallel)
+	time.Sleep(2 * time.Millisecond)
+	timer.Stop()
+	if p.SectionDuration(SecParallel) <= 0 {
+		t.Error("timer recorded nothing")
+	}
+}
+
+func TestSectionNames(t *testing.T) {
+	want := map[Section]string{SecInit: "init", SecParallel: "parallel", SecReduction: "reduction", SecSerial: "serial"}
+	if len(Sections()) != 4 {
+		t.Fatalf("Sections() = %v", Sections())
+	}
+	for _, s := range Sections() {
+		if s.String() != want[s] {
+			t.Errorf("section %d name %q", int(s), s.String())
+		}
+	}
+}
+
+func TestExtractFromDurations(t *testing.T) {
+	// Duration-based extraction mirrors the work-based path.
+	var profiles []*Profile
+	for _, th := range []int{1, 2, 4} {
+		p := NewProfile("d", th)
+		p.AddDuration(SecParallel, 990*time.Millisecond)
+		p.AddDuration(SecSerial, 6*time.Millisecond)
+		p.AddDuration(SecReduction, time.Duration(4*th)*time.Millisecond)
+		profiles = append(profiles, p)
+	}
+	ap, err := Extract(profiles, ExtractOptions{UseDuration: true, Growth: core.GrowthLinear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ap.F-0.99) > 1e-9 {
+		t.Errorf("F = %g, want 0.99", ap.F)
+	}
+	if math.Abs(ap.FCon-0.6) > 1e-9 {
+		t.Errorf("FCon = %g, want 0.6", ap.FCon)
+	}
+	if math.Abs(ap.FOred-1.0) > 1e-9 {
+		t.Errorf("FOred = %g, want 1 (reduction fully linear)", ap.FOred)
+	}
+}

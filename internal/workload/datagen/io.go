@@ -1,0 +1,180 @@
+package datagen
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Binary format: a fixed header followed by N*D little-endian float64
+// values and N int32 truth labels. MineBench ships its inputs as flat
+// binary files of the same shape, so this keeps data sets interchangeable
+// with external tooling and lets experiments pin exact inputs on disk.
+//
+//	magic   [8]byte  "MSCALED1"
+//	n, d, c int64
+//	seed    uint64
+//	points  n*d float64
+//	truth   n int32
+
+var magic = [8]byte{'M', 'S', 'C', 'A', 'L', 'E', 'D', '1'}
+
+// WriteBinary serializes the data set.
+func WriteBinary(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := []int64{int64(ds.Spec.N), int64(ds.Spec.D), int64(ds.Spec.C)}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ds.Spec.Seed); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ds.Points); err != nil {
+		return err
+	}
+	truth := make([]int32, len(ds.Truth))
+	for i, v := range ds.Truth {
+		truth[i] = int32(v)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, truth); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a data set written by WriteBinary.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("datagen: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("datagen: bad magic (not a mergescale data set)")
+	}
+	var n, d, c int64
+	for _, p := range []*int64{&n, &d, &c} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	var seed uint64
+	if err := binary.Read(br, binary.LittleEndian, &seed); err != nil {
+		return nil, err
+	}
+	const maxElems = 1 << 30
+	if n < 1 || d < 1 || c < 1 || n*d > maxElems {
+		return nil, fmt.Errorf("datagen: implausible header n=%d d=%d c=%d", n, d, c)
+	}
+	ds := &Dataset{
+		Spec:   Spec{Label: "loaded", N: int(n), D: int(d), C: int(c), Seed: seed},
+		Points: make([]float64, n*d),
+		Truth:  make([]int, n),
+	}
+	if err := binary.Read(br, binary.LittleEndian, ds.Points); err != nil {
+		return nil, err
+	}
+	truth := make([]int32, n)
+	if err := binary.Read(br, binary.LittleEndian, truth); err != nil {
+		return nil, err
+	}
+	for i, v := range truth {
+		if v < 0 || int64(v) >= n {
+			return nil, fmt.Errorf("datagen: truth label %d out of range", v)
+		}
+		ds.Truth[i] = int(v)
+	}
+	for _, v := range ds.Points {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, errors.New("datagen: non-finite point value")
+		}
+	}
+	return ds, nil
+}
+
+// WriteCSV emits one point per line: D coordinates then the truth label.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	d := ds.Spec.D
+	for i := 0; i < ds.Spec.N; i++ {
+		pt := ds.Point(i)
+		for j := 0; j < d; j++ {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(pt[j], 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, ",%d\n", ds.Truth[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the WriteCSV format; every line must have the same number
+// of coordinates. The cluster count is inferred from the labels.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var points []float64
+	var truth []int
+	d := -1
+	line := 0
+	maxLabel := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("datagen: line %d: need at least one coordinate and a label", line)
+		}
+		if d == -1 {
+			d = len(fields) - 1
+		} else if len(fields)-1 != d {
+			return nil, fmt.Errorf("datagen: line %d: %d coordinates, want %d", line, len(fields)-1, d)
+		}
+		for _, f := range fields[:d] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("datagen: line %d: %w", line, err)
+			}
+			points = append(points, v)
+		}
+		lbl, err := strconv.Atoi(strings.TrimSpace(fields[d]))
+		if err != nil || lbl < 0 {
+			return nil, fmt.Errorf("datagen: line %d: bad label %q", line, fields[d])
+		}
+		truth = append(truth, lbl)
+		if lbl > maxLabel {
+			maxLabel = lbl
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(truth) == 0 {
+		return nil, errors.New("datagen: empty CSV")
+	}
+	return &Dataset{
+		Spec:   Spec{Label: "csv", N: len(truth), D: d, C: maxLabel + 1},
+		Points: points,
+		Truth:  truth,
+	}, nil
+}

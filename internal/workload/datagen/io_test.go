@@ -1,0 +1,119 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	ds, err := Generate(Spec{Label: "rt", N: 123, D: 7, C: 3, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec.N != 123 || back.Spec.D != 7 || back.Spec.C != 3 || back.Spec.Seed != 99 {
+		t.Errorf("spec mismatch: %+v", back.Spec)
+	}
+	for i := range ds.Points {
+		if ds.Points[i] != back.Points[i] {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+	for i := range ds.Truth {
+		if ds.Truth[i] != back.Truth[i] {
+			t.Fatalf("truth %d differs", i)
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a dataset at all"))); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Correct magic but truncated body.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.Write(make([]byte, 8)) // partial header
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Error("truncated file should fail")
+	}
+}
+
+func TestReadBinaryRejectsImplausibleHeader(t *testing.T) {
+	ds, _ := Generate(Spec{Label: "x", N: 4, D: 2, C: 2, Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt N to a huge value.
+	for i := 8; i < 16; i++ {
+		raw[i] = 0xFF
+	}
+	if _, err := ReadBinary(bytes.NewReader(raw)); err == nil {
+		t.Error("implausible header should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds, err := Generate(Spec{Label: "csv", N: 50, D: 3, C: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec.N != 50 || back.Spec.D != 3 {
+		t.Errorf("csv shape: %+v", back.Spec)
+	}
+	for i := range ds.Points {
+		if ds.Points[i] != back.Points[i] {
+			t.Fatalf("csv point %d differs: %g vs %g", i, ds.Points[i], back.Points[i])
+		}
+	}
+	for i := range ds.Truth {
+		if ds.Truth[i] != back.Truth[i] {
+			t.Fatalf("csv truth %d differs", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                   // empty
+		"1.0\n",              // no label column
+		"1.0,2.0,0\n1.0,0\n", // inconsistent dimensions
+		"1.0,notanumber,0\n", // bad float
+		"1.0,2.0,-1\n",       // negative label
+		"1.0,2.0,xyz\n",      // bad label
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d (%q) should fail", i, c)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	in := "1.0,2.0,0\n\n3.0,4.0,1\n"
+	ds, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Spec.N != 2 || ds.Spec.C != 2 {
+		t.Errorf("parsed %+v", ds.Spec)
+	}
+}

@@ -1,0 +1,482 @@
+// Package hop implements the MineBench HOP benchmark: density-based
+// grouping of particles (Eisenstein & Hut's HOP algorithm). Each particle
+// estimates a local density from its spatial neighbors, "hops" to its
+// densest neighbor until it reaches a local density maximum, and particles
+// that reach the same maximum form a group.
+//
+// The implementation uses a uniform grid (the substitute for hop's KD
+// tree): a parallel binning pass produces per-thread partial cell counts
+// that are merged serially — hop's dominant merging phase, whose work is
+// threads × cells and whose memory footprint makes it the paper's
+// superlinear-growth example (Table II reports fored = 155%). A serial
+// placement pass, parallel density and hop passes, a serial cross-chunk
+// group merge, and a final relabel complete the pipeline.
+package hop
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mergescale/internal/parallel"
+	"mergescale/internal/sim"
+	"mergescale/internal/trace"
+	"mergescale/internal/workload"
+	"mergescale/internal/workload/datagen"
+)
+
+// Config holds algorithm parameters.
+type Config struct {
+	// CellsPerDim fixes the grid resolution; 0 picks ~4 points per cell.
+	CellsPerDim int
+	// MaxNeighbors caps the density/hop candidate scan per point — HOP's
+	// Ndens parameter (the density estimate uses the nearest neighbors,
+	// not every particle in range). 0 uses the default of 64.
+	MaxNeighbors int
+}
+
+// DefaultConfig returns the defaults (Ndens = 64, as in the original HOP).
+func DefaultConfig() Config { return Config{MaxNeighbors: 64} }
+
+// Result carries the grouping output.
+type Result struct {
+	Group  []int // group id per point (root point index)
+	Groups int   // distinct group count
+}
+
+// Hop is the workload adapter.
+type Hop struct {
+	Cfg Config
+}
+
+// New returns a hop workload with defaults.
+func New() *Hop { return &Hop{Cfg: DefaultConfig()} }
+
+// Name implements workload.Workload.
+func (w *Hop) Name() string { return "hop" }
+
+// DefaultSpec implements workload.Workload.
+func (w *Hop) DefaultSpec() datagen.Spec { return datagen.HopDefault }
+
+// grid is the uniform spatial index replacing hop's KD-tree.
+type grid struct {
+	g     int       // cells per dimension
+	d     int       // dimensions (points are embedded in min/scale space)
+	min   []float64 // per-dimension minimum
+	scale []float64 // per-dimension cell width
+	cells int       // g^d
+	start []int32   // cells+1 prefix offsets
+	order []int32   // point indices sorted by cell
+}
+
+func (gr *grid) cellOf(pt []float64) int {
+	c := 0
+	for j := 0; j < gr.d; j++ {
+		v := int((pt[j] - gr.min[j]) / gr.scale[j])
+		if v < 0 {
+			v = 0
+		}
+		if v >= gr.g {
+			v = gr.g - 1
+		}
+		c = c*gr.g + v
+	}
+	return c
+}
+
+// cellCoord decomposes a cell index into per-dimension coordinates.
+func (gr *grid) cellCoord(cell int, out []int) {
+	for j := gr.d - 1; j >= 0; j-- {
+		out[j] = cell % gr.g
+		cell /= gr.g
+	}
+}
+
+// Run executes hop natively with instrumented phases.
+func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *trace.Profile, error) {
+	if threads < 1 {
+		return nil, nil, errors.New("hop: threads must be >= 1")
+	}
+	n, d := ds.N(), ds.D()
+	if d > 4 {
+		return nil, nil, fmt.Errorf("hop: dimensionality %d too high for grid neighbors", d)
+	}
+	prof := trace.NewProfile("hop", threads)
+	pool, err := parallel.NewPool(threads)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer pool.Close()
+
+	// ---- init: bounding box and grid geometry (excluded from serial
+	// fraction, as the paper subtracts initialization).
+	var tInit *trace.Timer
+	if timing {
+		tInit = prof.StartTimer(trace.SecInit)
+	}
+	gr := &grid{d: d}
+	gr.g = cfg.CellsPerDim
+	if gr.g == 0 {
+		gr.g = int(math.Ceil(math.Pow(float64(n)/4, 1/float64(d))))
+		if gr.g < 2 {
+			gr.g = 2
+		}
+	}
+	gr.cells = 1
+	for j := 0; j < d; j++ {
+		gr.cells *= gr.g
+	}
+	gr.min = make([]float64, d)
+	gr.scale = make([]float64, d)
+	maxv := make([]float64, d)
+	for j := 0; j < d; j++ {
+		gr.min[j] = math.MaxFloat64
+		maxv[j] = -math.MaxFloat64
+	}
+	for i := 0; i < n; i++ {
+		pt := ds.Point(i)
+		for j := 0; j < d; j++ {
+			if pt[j] < gr.min[j] {
+				gr.min[j] = pt[j]
+			}
+			if pt[j] > maxv[j] {
+				maxv[j] = pt[j]
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		span := maxv[j] - gr.min[j]
+		if span <= 0 {
+			span = 1
+		}
+		gr.scale[j] = span / float64(gr.g) * 1.0000001 // keep max in range
+	}
+	if timing {
+		tInit.Stop()
+	}
+	prof.AddWork(trace.SecInit, float64(n*d*2))
+
+	// ---- parallel: binning (the tree-construction kernel). Each thread
+	// counts its chunk into a private cell-count array.
+	partial := make([][]int32, threads)
+	for t := range partial {
+		partial[t] = make([]int32, gr.cells)
+	}
+	cellIdx := make([]int32, n)
+	var tPar *trace.Timer
+	if timing {
+		tPar = prof.StartTimer(trace.SecParallel)
+	}
+	pool.For(n, func(id, lo, hi int) {
+		counts := partial[id]
+		for i := lo; i < hi; i++ {
+			c := gr.cellOf(ds.Point(i))
+			cellIdx[i] = int32(c)
+			counts[c]++
+		}
+	})
+	if timing {
+		tPar.Stop()
+	}
+	prof.AddWork(trace.SecParallel, float64(n*(3*d+1)))
+
+	// ---- merging phase, part 1: combine per-thread cell counts. This is
+	// hop's dominant reduction: threads × cells operations over a working
+	// set that overflows caches (the paper's superlinear case).
+	var tRed *trace.Timer
+	if timing {
+		tRed = prof.StartTimer(trace.SecReduction)
+	}
+	counts := make([]int32, gr.cells+1)
+	for t := 0; t < threads; t++ {
+		pc := partial[t]
+		for c, v := range pc {
+			counts[c+1] += v
+		}
+	}
+	if timing {
+		tRed.Stop()
+	}
+	prof.AddWork(trace.SecReduction, float64(threads*gr.cells))
+
+	// ---- serial: prefix sum and placement (scatter points into sorted
+	// order). Constant work regardless of thread count.
+	var tSer *trace.Timer
+	if timing {
+		tSer = prof.StartTimer(trace.SecSerial)
+	}
+	gr.start = counts
+	for c := 0; c < gr.cells; c++ {
+		gr.start[c+1] += gr.start[c]
+	}
+	gr.order = make([]int32, n)
+	cursor := make([]int32, gr.cells)
+	for i := 0; i < n; i++ {
+		c := cellIdx[i]
+		gr.order[gr.start[c]+cursor[c]] = int32(i)
+		cursor[c]++
+	}
+	if timing {
+		tSer.Stop()
+	}
+	prof.AddWork(trace.SecSerial, float64(gr.cells+n))
+
+	// ---- parallel: density estimation over neighbor cells, then hop to
+	// the densest neighbor. Work is counted exactly per thread.
+	density := make([]float64, n)
+	parent := make([]int32, n)
+	radius2 := 0.0
+	for j := 0; j < d; j++ {
+		radius2 += gr.scale[j] * gr.scale[j]
+	}
+	maxNbr := cfg.MaxNeighbors
+	if maxNbr <= 0 {
+		maxNbr = 64
+	}
+	parOps := make([]float64, threads)
+
+	// Candidates for a point at sorted position s are the window
+	// [s-w, s+w] of the cell-sorted order: the grid sort places spatial
+	// neighbors next to each other, so the window approximates HOP's
+	// Ndens nearest neighbors with bounded work, and overlapping windows
+	// let hops chain toward each blob's density peak.
+	w := maxNbr / 2
+	if w < 1 {
+		w = 1
+	}
+	window := func(s int) (int, int) {
+		lo := s - w
+		if lo < 0 {
+			lo = 0
+		}
+		hi := s + w + 1
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+
+	if timing {
+		tPar = prof.StartTimer(trace.SecParallel)
+	}
+	pool.For(n, func(id, lo, hi int) {
+		ops := 0.0
+		for s := lo; s < hi; s++ {
+			self := int(gr.order[s])
+			pt := ds.Point(self)
+			wlo, whi := window(s)
+			for c := wlo; c < whi; c++ {
+				if c == s {
+					continue
+				}
+				op := ds.Point(int(gr.order[c]))
+				dist := 0.0
+				for j := 0; j < d; j++ {
+					diff := pt[j] - op[j]
+					dist += diff * diff
+				}
+				ops += float64(3*d + 2)
+				if dist <= radius2 {
+					density[self] += 1 / (1 + dist)
+				}
+			}
+		}
+		parOps[id] += ops
+	})
+	if timing {
+		tPar.Stop()
+	}
+
+	// Hop pass: each point adopts its densest in-range candidate.
+	if timing {
+		tPar = prof.StartTimer(trace.SecParallel)
+	}
+	pool.For(n, func(id, lo, hi int) {
+		ops := 0.0
+		for s := lo; s < hi; s++ {
+			self := int(gr.order[s])
+			pt := ds.Point(self)
+			best, bestDen := int32(self), density[self]
+			wlo, whi := window(s)
+			for c := wlo; c < whi; c++ {
+				if c == s {
+					continue
+				}
+				o := int(gr.order[c])
+				op := ds.Point(o)
+				dist := 0.0
+				for j := 0; j < d; j++ {
+					diff := pt[j] - op[j]
+					dist += diff * diff
+				}
+				ops += float64(3*d + 3)
+				if dist <= radius2 && (density[o] > bestDen ||
+					(density[o] == bestDen && int32(o) > best)) {
+					bestDen = density[o]
+					best = int32(o)
+				}
+			}
+			parent[self] = best
+		}
+		parOps[id] += ops
+	})
+	if timing {
+		tPar.Stop()
+	}
+	for _, v := range parOps {
+		prof.AddWork(trace.SecParallel, v)
+	}
+
+	// ---- merging phase, part 2: cross-chunk group merge. Each thread
+	// found roots within its chunk of the sorted order; the master resolves
+	// parent edges that cross chunk boundaries. The number of cross edges
+	// grows with the thread count.
+	ranges := parallel.Split(n, threads)
+	chunkOf := func(sortedPos int32) int {
+		for t, r := range ranges {
+			if int(sortedPos) < r.Hi {
+				return t
+			}
+		}
+		return threads - 1
+	}
+	posOf := make([]int32, n) // point -> position in sorted order
+	for s := 0; s < n; s++ {
+		posOf[gr.order[s]] = int32(s)
+	}
+	if timing {
+		tRed = prof.StartTimer(trace.SecReduction)
+	}
+	crossEdges := 0
+	for i := 0; i < n; i++ {
+		p := parent[i]
+		if int(p) != i && chunkOf(posOf[i]) != chunkOf(posOf[p]) {
+			crossEdges++
+		}
+	}
+	if timing {
+		tRed.Stop()
+	}
+	prof.AddWork(trace.SecReduction, float64(crossEdges))
+
+	// ---- serial: root chase with path compression and relabel.
+	if timing {
+		tSer = prof.StartTimer(trace.SecSerial)
+	}
+	root := make([]int32, n)
+	var find func(i int32) int32
+	find = func(i int32) int32 {
+		if parent[i] == i {
+			return i
+		}
+		r := find(parent[i])
+		parent[i] = r
+		return r
+	}
+	groups := map[int32]bool{}
+	for i := 0; i < n; i++ {
+		root[i] = find(int32(i))
+		groups[root[i]] = true
+	}
+	if timing {
+		tSer.Stop()
+	}
+	prof.AddWork(trace.SecSerial, float64(2*n))
+
+	out := make([]int, n)
+	for i := range root {
+		out[i] = int(root[i])
+	}
+	return &Result{Group: out, Groups: len(groups)}, prof, nil
+}
+
+// RunNative implements workload.Workload.
+func (w *Hop) RunNative(ds *datagen.Dataset, threads int, timing bool) (*trace.Profile, error) {
+	_, prof, err := Run(ds, w.Cfg, threads, timing)
+	return prof, err
+}
+
+// BuildProgram implements workload.Workload. The generated program mirrors
+// hop's structure: binning and two neighbor passes in the parallel phase,
+// the cell-count merge (threads × cells loads of remote-modified lines plus
+// per-thread boundary tables that grow with the core count) in the merging
+// phase, and placement/relabel in the serial section.
+func (w *Hop) BuildProgram(ds *datagen.Dataset, cfg sim.Config, scale int) (*sim.Program, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	n := ds.N() / scale
+	d := ds.D()
+	if n < cfg.Cores*4 {
+		return nil, fmt.Errorf("hop: scaled N=%d too small for %d cores", n, cfg.Cores)
+	}
+	g := int(math.Ceil(math.Pow(float64(n)/4, 1/float64(d))))
+	if g < 2 {
+		g = 2
+	}
+	cells := 1
+	for j := 0; j < d; j++ {
+		cells *= g
+	}
+	const f8 = 8
+	const i4 = 4
+	avgNbr := 4 * 27.0 // ~4 points/cell × 3^3 neighbor cells
+	if d < 3 {
+		avgNbr = 4 * math.Pow(3, float64(d))
+	}
+
+	b := sim.NewBuilder(cfg.Cores)
+	b.Phase("init")
+	b.LoadRange(0, workload.AddrPoints, uint64(64*d*f8), cfg.LineSz)
+	b.Compute(0, uint64(n*d/8)) // sampled bounding box
+	b.Barrier()
+
+	ranges := parallel.Split(n, cfg.Cores)
+	cellBytes := uint64(cells * i4)
+
+	// Parallel phase: binning + density + hop passes.
+	b.Phase("parallel")
+	for id := 0; id < cfg.Cores; id++ {
+		r := ranges[id]
+		pts := r.Hi - r.Lo
+		if pts <= 0 {
+			continue
+		}
+		chunkAddr := workload.AddrPoints + uint64(r.Lo*d*f8)
+		chunkBytes := uint64(pts * d * f8)
+		// Binning: stream the chunk, update private cell counts.
+		b.LoadRange(id, chunkAddr, chunkBytes, cfg.LineSz)
+		b.Compute(id, uint64(pts*(3*d+1)))
+		b.StoreRange(id, workload.PartialBase(id), cellBytes, cfg.LineSz)
+		// Density + hop: two more streaming passes with neighbor work.
+		b.LoadRange(id, chunkAddr, chunkBytes, cfg.LineSz)
+		b.Compute(id, uint64(float64(pts)*avgNbr*float64(3*d+2)))
+		b.LoadRange(id, chunkAddr, chunkBytes, cfg.LineSz)
+		b.Compute(id, uint64(float64(pts)*avgNbr*float64(3*d+3)))
+	}
+	b.Barrier()
+
+	// Merging phase: master gathers every thread's cell counts (remote
+	// modified lines — coherence traffic grows with cores) and each
+	// thread's boundary table, whose size itself grows with the core count
+	// (more chunk boundaries → more cross edges): the superlinear term.
+	b.Phase("reduction")
+	boundaryLines := uint64(cfg.Cores) * 4
+	for id := 0; id < cfg.Cores; id++ {
+		b.LoadRange(0, workload.PartialBase(id), cellBytes, cfg.LineSz)
+		b.Compute(0, uint64(cells))
+		b.LoadRange(0, workload.PartialBase(id)+cellBytes, boundaryLines*uint64(cfg.LineSz), cfg.LineSz)
+		b.Compute(0, boundaryLines*8)
+	}
+	b.Barrier()
+
+	// Serial section: prefix sum, placement scatter, relabel.
+	b.Phase("serial")
+	b.Compute(0, uint64(cells+3*n))
+	b.StoreRange(0, workload.AddrCenters, uint64(n*i4), cfg.LineSz)
+	b.Barrier()
+
+	return b.Build()
+}
+
+var _ workload.Workload = (*Hop)(nil)

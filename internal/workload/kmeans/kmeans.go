@@ -1,0 +1,265 @@
+// Package kmeans implements the MineBench k-means clustering benchmark:
+// a fork-join parallel assignment phase over the points, followed by the
+// merging phase of Algorithm 1 in the paper — a serial accumulation of
+// per-thread partial sums whose work grows linearly with the thread count.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mergescale/internal/parallel"
+	"mergescale/internal/reduction"
+	"mergescale/internal/sim"
+	"mergescale/internal/trace"
+	"mergescale/internal/workload"
+	"mergescale/internal/workload/datagen"
+)
+
+// Config holds algorithm parameters.
+type Config struct {
+	K        int // clusters
+	Iters    int // fixed iteration count (deterministic across threads)
+	Strategy reduction.Strategy
+}
+
+// DefaultConfig matches the MineBench default: 8 clusters. Ten iterations
+// keep runs short while exercising every phase each iteration.
+func DefaultConfig() Config {
+	return Config{K: 8, Iters: 10, Strategy: reduction.Linear}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.K < 1 {
+		return errors.New("kmeans: K must be >= 1")
+	}
+	if c.Iters < 1 {
+		return errors.New("kmeans: Iters must be >= 1")
+	}
+	return nil
+}
+
+// Result carries the clustering output.
+type Result struct {
+	Centers []float64 // K*D
+	Assign  []int     // N
+	Iters   int
+	Delta   float64 // total center movement in the last iteration
+}
+
+// KMeans is the workload adapter.
+type KMeans struct {
+	Cfg Config
+}
+
+// New returns a kmeans workload with the default configuration.
+func New() *KMeans { return &KMeans{Cfg: DefaultConfig()} }
+
+// Name implements workload.Workload.
+func (w *KMeans) Name() string { return "kmeans" }
+
+// DefaultSpec implements workload.Workload.
+func (w *KMeans) DefaultSpec() datagen.Spec { return datagen.KMeansBase }
+
+// opsPerPoint returns the assignment-phase flop count per point:
+// K distance evaluations of 3D flops each, K comparisons, and D+1
+// accumulations into the private partial sums.
+func opsPerPoint(k, d int) float64 { return float64(3*k*d + k + d + 1) }
+
+// Run executes k-means natively and returns the clustering result together
+// with the instrumented profile.
+func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *trace.Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if threads < 1 {
+		return nil, nil, errors.New("kmeans: threads must be >= 1")
+	}
+	n, d, k := ds.N(), ds.D(), cfg.K
+	if k > n {
+		return nil, nil, fmt.Errorf("kmeans: K=%d exceeds N=%d", k, n)
+	}
+
+	prof := trace.NewProfile("kmeans", threads)
+	pool, err := parallel.NewPool(threads)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer pool.Close()
+
+	// --- init: centers start at the first K points (MineBench behaviour).
+	var tInit *trace.Timer
+	if timing {
+		tInit = prof.StartTimer(trace.SecInit)
+	}
+	centers := make([]float64, k*d)
+	copy(centers, ds.Points[:k*d])
+	assign := make([]int, n)
+	width := k * (d + 1) // per-cluster: D coordinate sums + 1 count
+	pv := parallel.NewPrivatized(threads, width)
+	sums := make([]float64, width)
+	newCenters := make([]float64, k*d)
+	if timing {
+		tInit.Stop()
+	}
+	prof.AddWork(trace.SecInit, float64(k*d))
+
+	delta := 0.0
+	for iter := 0; iter < cfg.Iters; iter++ {
+		// --- parallel phase: assign points, accumulate private partials.
+		pv.Reset()
+		var tPar *trace.Timer
+		if timing {
+			tPar = prof.StartTimer(trace.SecParallel)
+		}
+		pool.For(n, func(id, lo, hi int) {
+			buf := pv.Buf(id)
+			for i := lo; i < hi; i++ {
+				pt := ds.Points[i*d : (i+1)*d]
+				best, bestDist := 0, math.MaxFloat64
+				for c := 0; c < k; c++ {
+					ctr := centers[c*d : (c+1)*d]
+					dist := 0.0
+					for j := 0; j < d; j++ {
+						diff := pt[j] - ctr[j]
+						dist += diff * diff
+					}
+					if dist < bestDist {
+						best, bestDist = c, dist
+					}
+				}
+				assign[i] = best
+				base := best * (d + 1)
+				for j := 0; j < d; j++ {
+					buf[base+j] += pt[j]
+				}
+				buf[base+d]++
+			}
+		})
+		if timing {
+			tPar.Stop()
+		}
+		prof.AddWork(trace.SecParallel, float64(n)*opsPerPoint(k, d))
+
+		// --- merging phase (Algorithm 1): executed by the master thread.
+		var tRed *trace.Timer
+		if timing {
+			tRed = prof.StartTimer(trace.SecReduction)
+		}
+		for i := range sums {
+			sums[i] = 0
+		}
+		cost, err := reduction.Reduce(cfg.Strategy, pv, sums, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Normalize into new centers (constant part of the merge).
+		for c := 0; c < k; c++ {
+			cnt := sums[c*(d+1)+d]
+			for j := 0; j < d; j++ {
+				if cnt > 0 {
+					newCenters[c*d+j] = sums[c*(d+1)+j] / cnt
+				} else {
+					newCenters[c*d+j] = centers[c*d+j]
+				}
+			}
+		}
+		if timing {
+			tRed.Stop()
+		}
+		prof.AddWork(trace.SecReduction, float64(cost.CriticalOps)+float64(2*k*d))
+
+		// --- serial section: convergence bookkeeping.
+		var tSer *trace.Timer
+		if timing {
+			tSer = prof.StartTimer(trace.SecSerial)
+		}
+		delta = 0
+		for i := range centers {
+			diff := newCenters[i] - centers[i]
+			delta += diff * diff
+			centers[i] = newCenters[i]
+		}
+		if timing {
+			tSer.Stop()
+		}
+		prof.AddWork(trace.SecSerial, float64(3*k*d))
+	}
+
+	return &Result{Centers: centers, Assign: assign, Iters: cfg.Iters, Delta: delta}, prof, nil
+}
+
+// RunNative implements workload.Workload.
+func (w *KMeans) RunNative(ds *datagen.Dataset, threads int, timing bool) (*trace.Profile, error) {
+	_, prof, err := Run(ds, w.Cfg, threads, timing)
+	return prof, err
+}
+
+// BuildProgram implements workload.Workload: it compiles the same phase
+// structure into the simulator IR. Loads and stores are emitted at cache-
+// line granularity; per-point arithmetic is aggregated into compute bursts
+// (the in-order core model makes op interleaving timing-neutral).
+func (w *KMeans) BuildProgram(ds *datagen.Dataset, cfg sim.Config, scale int) (*sim.Program, error) {
+	if err := w.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	n := ds.N() / scale
+	d, k := ds.D(), w.Cfg.K
+	if n < cfg.Cores || n < k {
+		return nil, fmt.Errorf("kmeans: scaled N=%d too small for %d cores / K=%d", n, cfg.Cores, k)
+	}
+	b := sim.NewBuilder(cfg.Cores)
+	const f8 = 8 // bytes per float64
+	centerBytes := uint64(k * d * f8)
+	partialBytes := uint64(k * (d + 1) * f8)
+
+	// init: master reads the first K points and writes the centers.
+	b.Phase("init")
+	b.LoadRange(0, workload.AddrPoints, centerBytes, cfg.LineSz)
+	b.Compute(0, uint64(k*d))
+	b.StoreRange(0, workload.AddrCenters, centerBytes, cfg.LineSz)
+	b.Barrier()
+
+	ranges := parallel.Split(n, cfg.Cores)
+	for iter := 0; iter < w.Cfg.Iters; iter++ {
+		b.Phase("parallel")
+		for id := 0; id < cfg.Cores; id++ {
+			r := ranges[id]
+			pts := r.Hi - r.Lo
+			if pts <= 0 {
+				continue
+			}
+			// Read the shared centers, stream this core's point chunk,
+			// accumulate into the private partial buffer.
+			b.LoadRange(id, workload.AddrCenters, centerBytes, cfg.LineSz)
+			b.LoadRange(id, workload.AddrPoints+uint64(r.Lo*d*f8), uint64(pts*d*f8), cfg.LineSz)
+			b.Compute(id, uint64(float64(pts)*opsPerPoint(k, d)))
+			b.StoreRange(id, workload.PartialBase(id), partialBytes, cfg.LineSz)
+		}
+		b.Barrier()
+
+		// merging phase: master gathers every thread's partials (coherence
+		// transfers that grow with the core count), accumulates, and
+		// publishes the new centers.
+		b.Phase("reduction")
+		for id := 0; id < cfg.Cores; id++ {
+			b.LoadRange(0, workload.PartialBase(id), partialBytes, cfg.LineSz)
+			b.Compute(0, uint64(k*(d+1)))
+		}
+		b.Compute(0, uint64(2*k*d))
+		b.StoreRange(0, workload.AddrCenters, centerBytes, cfg.LineSz)
+		b.Barrier()
+
+		b.Phase("serial")
+		b.Compute(0, uint64(3*k*d))
+		b.Barrier()
+	}
+	return b.Build()
+}
+
+var _ workload.Workload = (*KMeans)(nil)

@@ -1,0 +1,146 @@
+// Package workload defines the common interface of the MineBench-substitute
+// clustering applications (kmeans, fuzzy, hop) and shared helpers for
+// running them natively (goroutines, instrumented phases) and on the
+// internal/sim CMP simulator (compiled to kernel-IR programs).
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"mergescale/internal/sim"
+	"mergescale/internal/trace"
+	"mergescale/internal/workload/datagen"
+)
+
+// Workload is one clustering application.
+type Workload interface {
+	// Name returns the benchmark name ("kmeans", "fuzzy", "hop").
+	Name() string
+	// DefaultSpec returns the default data-set shape (Table IV "base").
+	DefaultSpec() datagen.Spec
+	// RunNative executes the algorithm with the given thread count,
+	// recording per-section operation counts (and wall times when timing
+	// is true) into a fresh profile.
+	RunNative(ds *datagen.Dataset, threads int, timing bool) (*trace.Profile, error)
+	// BuildProgram compiles the workload into a simulator program for the
+	// given machine configuration. scale > 1 divides the point count to
+	// keep simulations short (shape-preserving; merge work is unscaled).
+	BuildProgram(ds *datagen.Dataset, cfg sim.Config, scale int) (*sim.Program, error)
+}
+
+// Memory layout used by all generated simulator programs. Regions are far
+// apart so they never share cache lines.
+const (
+	AddrCenters  = 0x0010_0000 // shared cluster centers / global results
+	AddrPartials = 0x0100_0000 // per-thread partial buffers
+	AddrPoints   = 0x1000_0000 // read-only point data
+	PartialAlign = 0x0001_0000 // spacing between per-thread partial regions
+)
+
+// PartialBase returns the base address of thread id's partial buffer.
+func PartialBase(id int) uint64 {
+	return AddrPartials + uint64(id)*PartialAlign
+}
+
+// SimProfile runs the workload on the simulator and converts the per-phase
+// cycle counts into a trace.Profile (Work = cycles). Phase names in the
+// generated programs must match the trace section names.
+func SimProfile(w Workload, ds *datagen.Dataset, cfg sim.Config, scale int) (*trace.Profile, error) {
+	prog, err := w.BuildProgram(ds, cfg, scale)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run(prog)
+	if err != nil {
+		return nil, err
+	}
+	return ResultToProfile(w.Name(), cfg.Cores, res)
+}
+
+// ResultToProfile maps simulator phase cycles onto trace sections.
+func ResultToProfile(name string, cores int, res sim.Result) (*trace.Profile, error) {
+	p := trace.NewProfile(name, cores)
+	known := map[string]trace.Section{
+		"init":      trace.SecInit,
+		"parallel":  trace.SecParallel,
+		"reduction": trace.SecReduction,
+		"serial":    trace.SecSerial,
+	}
+	for _, ph := range res.Phases {
+		sec, ok := known[ph.Name]
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown phase %q in simulation result", ph.Name)
+		}
+		p.AddWork(sec, float64(ph.Cycles))
+	}
+	if p.TotalWork() == 0 {
+		return nil, errors.New("workload: simulation produced no phase cycles")
+	}
+	return p, nil
+}
+
+// SimSpeedupCurve runs the workload on 1..maxCores (doubling) simulated
+// cores and returns speedups relative to the single-core run — the series
+// of Figure 2(a).
+func SimSpeedupCurve(w Workload, ds *datagen.Dataset, coreCounts []int, scale int) (map[int]float64, error) {
+	cycles := map[int]uint64{}
+	for _, c := range coreCounts {
+		cfg := sim.DefaultConfig(c)
+		prog, err := w.BuildProgram(ds, cfg, scale)
+		if err != nil {
+			return nil, err
+		}
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.Run(prog)
+		if err != nil {
+			return nil, err
+		}
+		cycles[c] = res.Cycles
+	}
+	base, ok := cycles[1]
+	if !ok {
+		return nil, errors.New("workload: speedup curve needs a 1-core run")
+	}
+	out := map[int]float64{}
+	for c, cy := range cycles {
+		if cy == 0 {
+			return nil, errors.New("workload: zero-cycle run")
+		}
+		out[c] = float64(base) / float64(cy)
+	}
+	return out, nil
+}
+
+// NativeProfiles runs the workload natively across the given thread counts.
+func NativeProfiles(w Workload, ds *datagen.Dataset, threadCounts []int, timing bool) ([]*trace.Profile, error) {
+	var out []*trace.Profile
+	for _, th := range threadCounts {
+		p, err := w.RunNative(ds, th, timing)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SimProfiles runs the workload on the simulator across core counts.
+func SimProfiles(w Workload, ds *datagen.Dataset, coreCounts []int, scale int) ([]*trace.Profile, error) {
+	var out []*trace.Profile
+	for _, c := range coreCounts {
+		p, err := SimProfile(w, ds, sim.DefaultConfig(c), scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

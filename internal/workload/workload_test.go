@@ -1,0 +1,154 @@
+package workload_test
+
+import (
+	"testing"
+
+	"mergescale/internal/sim"
+	"mergescale/internal/trace"
+	"mergescale/internal/workload"
+	"mergescale/internal/workload/datagen"
+	"mergescale/internal/workload/fuzzy"
+	"mergescale/internal/workload/hop"
+	"mergescale/internal/workload/kmeans"
+)
+
+func testData(t *testing.T, seed uint64) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Spec{Label: "wl", N: 1200, D: 3, C: 4, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func allWorkloads() []workload.Workload {
+	km := kmeans.New()
+	km.Cfg.Iters = 2
+	fz := fuzzy.New()
+	fz.Cfg.Iters = 2
+	return []workload.Workload{km, fz, hop.New()}
+}
+
+func TestPartialBaseAddressesDisjoint(t *testing.T) {
+	for id := 0; id < 63; id++ {
+		lo := workload.PartialBase(id)
+		hi := workload.PartialBase(id + 1)
+		if hi-lo != workload.PartialAlign {
+			t.Fatalf("partial regions not uniformly spaced at id %d", id)
+		}
+	}
+	if workload.PartialBase(0) <= workload.AddrCenters {
+		t.Error("partials overlap the centers region")
+	}
+	if workload.AddrPoints <= workload.PartialBase(64) {
+		t.Error("points overlap the partial regions")
+	}
+}
+
+func TestSimProfileForEachWorkload(t *testing.T) {
+	ds := testData(t, 41)
+	for _, w := range allWorkloads() {
+		prof, err := workload.SimProfile(w, ds, sim.DefaultConfig(4), 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if prof.Threads != 4 || prof.Name != w.Name() {
+			t.Errorf("%s: profile metadata %+v", w.Name(), prof)
+		}
+		if prof.SectionWork(trace.SecParallel) == 0 {
+			t.Errorf("%s: no parallel cycles", w.Name())
+		}
+		if prof.SectionWork(trace.SecReduction) == 0 {
+			t.Errorf("%s: no reduction cycles", w.Name())
+		}
+	}
+}
+
+func TestSimSpeedupCurveMonotone(t *testing.T) {
+	ds := testData(t, 42)
+	km := kmeans.New()
+	km.Cfg.Iters = 2
+	sp, err := workload.SimSpeedupCurve(km, ds, []int{1, 2, 4, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[1] != 1 {
+		t.Errorf("speedup at 1 core = %g, want 1", sp[1])
+	}
+	prev := 0.0
+	for _, c := range []int{1, 2, 4, 8} {
+		if sp[c] < prev {
+			t.Errorf("speedup not monotone at %d cores: %v", c, sp)
+		}
+		prev = sp[c]
+	}
+	if sp[8] < 4 {
+		t.Errorf("8-core speedup %.2f too low for a scalable workload", sp[8])
+	}
+	if sp[8] > 8.01 {
+		t.Errorf("8-core speedup %.2f above linear", sp[8])
+	}
+}
+
+func TestSimSpeedupCurveNeedsBase(t *testing.T) {
+	ds := testData(t, 43)
+	km := kmeans.New()
+	km.Cfg.Iters = 1
+	if _, err := workload.SimSpeedupCurve(km, ds, []int{2, 4}, 1); err == nil {
+		t.Error("curve without a 1-core run should fail")
+	}
+}
+
+func TestResultToProfileRejectsUnknownPhase(t *testing.T) {
+	res := sim.Result{Phases: []sim.PhaseTime{{Name: "warmup", Cycles: 10}}}
+	if _, err := workload.ResultToProfile("x", 1, res); err == nil {
+		t.Error("unknown phase should fail")
+	}
+	res = sim.Result{}
+	if _, err := workload.ResultToProfile("x", 1, res); err == nil {
+		t.Error("empty result should fail")
+	}
+}
+
+func TestNativeProfilesThreadGrid(t *testing.T) {
+	ds := testData(t, 44)
+	km := kmeans.New()
+	km.Cfg.Iters = 2
+	profiles, err := workload.NativeProfiles(km, ds, []int{1, 3, 5}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 3 {
+		t.Fatalf("got %d profiles", len(profiles))
+	}
+	for i, want := range []int{1, 3, 5} {
+		if profiles[i].Threads != want {
+			t.Errorf("profile %d threads = %d, want %d", i, profiles[i].Threads, want)
+		}
+	}
+}
+
+// TestSimSerialGrowthAcrossWorkloads is the simulation counterpart of the
+// paper's central observation, checked end-to-end for all three apps: the
+// simulated serial+reduction time grows monotonically with core count.
+func TestSimSerialGrowthAcrossWorkloads(t *testing.T) {
+	ds := testData(t, 45)
+	for _, w := range allWorkloads() {
+		profiles, err := workload.SimProfiles(w, ds, []int{1, 2, 4, 8}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		_, norm, err := trace.GrowthSeries(profiles, false)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		for i := 1; i < len(norm); i++ {
+			if norm[i] <= norm[i-1] {
+				t.Errorf("%s: serial growth not increasing: %v", w.Name(), norm)
+			}
+		}
+		if norm[len(norm)-1] < 1.5 {
+			t.Errorf("%s: serial growth at 8 cores only %.2fx — merge cost not captured", w.Name(), norm[len(norm)-1])
+		}
+	}
+}
