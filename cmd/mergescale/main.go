@@ -3,75 +3,111 @@
 // Usage:
 //
 //	mergescale -list
-//	mergescale [-quick] [-csv] [-duration] run <experiment-id>|all
+//	mergescale [-quick] [-csv] [-duration] [-workers N] [-nocache] [-stats] run <experiment-id>|all
 //
 // Experiment ids follow the paper's artifact numbering (table1..table4,
 // fig2a..fig7) plus the abl-* ablations; see DESIGN.md for the index.
+//
+// Experiments execute concurrently on the engine worker pool (one job per
+// artifact; design-space sweeps shard into sub-jobs), but the output is
+// always printed in registry order, so a parallel run is byte-identical
+// to -workers 1.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 
+	"mergescale/internal/engine"
 	"mergescale/internal/experiments"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parses args, executes, and returns the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mergescale", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		quickRun = flag.Bool("quick", false, "shrink data sets and grids for a fast run")
-		csv      = flag.Bool("csv", false, "emit CSV instead of formatted tables")
-		duration = flag.Bool("duration", false, "base native experiments on wall time instead of op counts")
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		quickRun = fs.Bool("quick", false, "shrink data sets and grids for a fast run")
+		csv      = fs.Bool("csv", false, "emit CSV instead of formatted tables")
+		duration = fs.Bool("duration", false, "base native experiments on wall time instead of op counts")
+		workers  = fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial)")
+		nocache  = fs.Bool("nocache", false, "disable the engine result cache")
+		stats    = fs.Bool("stats", false, "print engine cache/worker statistics to stderr")
 	)
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-quick] [-csv] [-duration] run <id>|all\n       %s -list\n", os.Args[0], os.Args[0])
-		flag.PrintDefaults()
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mergescale [-quick] [-csv] [-duration] [-workers N] [-nocache] [-stats] run <id>|all\n       mergescale -list\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {
-			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-14s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
-	args := flag.Args()
-	if len(args) != 2 || args[0] != "run" {
-		flag.Usage()
-		os.Exit(2)
+	rest := fs.Args()
+	if len(rest) != 2 || rest[0] != "run" {
+		fs.Usage()
+		return 2
 	}
 
 	opt := experiments.Options{Quick: *quickRun, UseDuration: *duration}
 	var targets []experiments.Experiment
-	if args[1] == "all" {
+	if rest[1] == "all" {
 		targets = experiments.Registry()
 	} else {
-		e, err := experiments.ByID(args[1])
+		e, err := experiments.ByID(rest[1])
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		targets = []experiments.Experiment{e}
 	}
 
-	for _, e := range targets {
-		doc, err := e.Run(opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+	// Ctrl-C cancels in-flight jobs instead of killing mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eng := engine.New(engine.Config{Workers: *workers, DisableCache: *nocache})
+	for _, o := range experiments.RunAll(ctx, eng, targets, opt) {
+		if o.Err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", o.ID, o.Err)
+			return 1
 		}
 		var renderErr error
 		if *csv {
-			renderErr = doc.CSV(os.Stdout)
+			renderErr = o.Doc.CSV(stdout)
 		} else {
-			renderErr = doc.Render(os.Stdout)
+			renderErr = o.Doc.Render(stdout)
 		}
 		if renderErr != nil {
-			fmt.Fprintf(os.Stderr, "%s: render: %v\n", e.ID, renderErr)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "%s: render: %v\n", o.ID, renderErr)
+			return 1
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	if *stats {
+		st := eng.Stats()
+		fmt.Fprintf(stderr, "engine: %d workers, %d executed (%d inline), cache %d hits / %d misses\n",
+			eng.Workers(), st.Executed, st.Inline, st.Hits, st.Misses)
+	}
+	return 0
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestHelp exercises the usage path (-h equivalent: bad args).
+func TestHelp(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h exit code = %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "usage: mergescale") {
+		t.Fatalf("usage text missing:\n%s", errOut.String())
+	}
+}
+
+func TestList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit code = %d, stderr: %s", code, errOut.String())
+	}
+	for _, id := range []string{"table1", "fig4", "abl-growth"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list missing %q", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"run", "fig99"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown id exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown id") {
+		t.Fatalf("expected unknown-id error, got: %s", errOut.String())
+	}
+}
+
+// TestRunQuickWorkload runs one cheap analytical experiment end-to-end.
+func TestRunQuickWorkload(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-quick", "-stats", "run", "fig4"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "== fig4: Scalability on symmetric CMPs ==") {
+		t.Fatalf("fig4 header missing from output:\n%.400s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "engine:") {
+		t.Fatalf("-stats line missing from stderr: %s", errOut.String())
+	}
+}
+
+// TestRunDeterministicAcrossWorkers compares CLI output at -workers 1 vs 8.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	var serial, parallel, errOut bytes.Buffer
+	if code := run([]string{"-quick", "-workers", "1", "run", "fig4"}, &serial, &errOut); code != 0 {
+		t.Fatalf("serial run failed: %s", errOut.String())
+	}
+	if code := run([]string{"-quick", "-workers", "8", "run", "fig4"}, &parallel, &errOut); code != 0 {
+		t.Fatalf("parallel run failed: %s", errOut.String())
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatal("-workers 8 output differs from -workers 1")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-quick", "-csv", "run", "table3"}, &out, &errOut); code != 0 {
+		t.Fatalf("csv run failed: %s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "parallelism,constant,reduction") {
+		t.Fatalf("csv header missing:\n%.200s", out.String())
+	}
+}

@@ -7,40 +7,55 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mergescale/internal/core"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parses args, executes, and returns the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		f      = flag.Float64("f", 0.99, "parallel fraction")
-		fcon   = flag.Float64("fcon", 0.60, "constant share of serial time [0,1]")
-		fored  = flag.Float64("fored", 0.80, "overhead share of the reduction part")
-		growth = flag.String("growth", "linear", "growth function: none | linear | log")
-		budget = flag.Int("budget", 256, "chip budget in BCEs")
-		acmp   = flag.Bool("acmp", false, "sweep asymmetric designs (rl on the x-axis)")
-		r      = flag.Float64("r", 1, "small-core size for -acmp sweeps")
-		comm   = flag.Bool("comm", false, "use the communication-aware model (Section V-E)")
+		f      = fs.Float64("f", 0.99, "parallel fraction")
+		fcon   = fs.Float64("fcon", 0.60, "constant share of serial time [0,1]")
+		fored  = fs.Float64("fored", 0.80, "overhead share of the reduction part")
+		growth = fs.String("growth", "linear", "growth function: none | linear | log")
+		budget = fs.Int("budget", 256, "chip budget in BCEs")
+		acmp   = fs.Bool("acmp", false, "sweep asymmetric designs (rl on the x-axis)")
+		r      = fs.Float64("r", 1, "small-core size for -acmp sweeps")
+		comm   = fs.Bool("comm", false, "use the communication-aware model (Section V-E)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	g, err := core.ParseGrowth(*growth)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	app := core.AppParams{Name: "cli", F: *f, FCon: *fcon, FOred: *fored, Growth: g}
 	if err := app.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	b := core.Budget{N: *budget}
 	if err := b.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	grid := core.PowerOfTwoRs(b.N)
 
@@ -63,16 +78,17 @@ func main() {
 		xname = "r"
 	}
 
-	fmt.Printf("f=%.4f fcon=%.2f fored=%.2f growth=%s budget=%d BCEs\n", *f, *fcon, *fored, g, b.N)
-	fmt.Printf("%6s  %10s\n", xname, "speedup")
+	fmt.Fprintf(stdout, "f=%.4f fcon=%.2f fored=%.2f growth=%s budget=%d BCEs\n", *f, *fcon, *fored, g, b.N)
+	fmt.Fprintf(stdout, "%6s  %10s\n", xname, "speedup")
 	for _, p := range pts {
-		fmt.Printf("%6.0f  %10.2f\n", p.R, p.Speedup)
+		fmt.Fprintf(stdout, "%6.0f  %10.2f\n", p.R, p.Speedup)
 	}
 	if best, ok := core.Best(pts); ok {
-		fmt.Printf("peak: speedup %.2f at %s=%.0f\n", best.Speedup, xname, best.R)
+		fmt.Fprintf(stdout, "peak: speedup %.2f at %s=%.0f\n", best.Speedup, xname, best.R)
 	}
 	if !*acmp && !*comm {
 		opt := core.OptimalSymmetricR(app, b, 1e-3)
-		fmt.Printf("continuous optimum: speedup %.2f at r=%.1f\n", opt.Speedup, opt.R)
+		fmt.Fprintf(stdout, "continuous optimum: speedup %.2f at r=%.1f\n", opt.Speedup, opt.R)
 	}
+	return 0
 }

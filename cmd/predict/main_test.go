@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHelp(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h exit code = %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-growth") {
+		t.Fatalf("flag help missing:\n%s", errOut.String())
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-f", "1.5"}, &out, &errOut); code != 2 {
+		t.Fatalf("invalid f exit code = %d, want 2", code)
+	}
+	if code := run([]string{"-growth", "cubic"}, &out, &errOut); code != 2 {
+		t.Fatalf("invalid growth exit code = %d, want 2", code)
+	}
+}
+
+// TestQuickSweep runs the default symmetric sweep and checks the report.
+func TestQuickSweep(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-f", "0.99", "-fcon", "0.6", "-fored", "0.8"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"f=0.9900", "speedup", "peak: speedup", "continuous optimum"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestACMPCommSweep(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-acmp", "-comm", "-r", "4"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "rl") {
+		t.Fatalf("asymmetric sweep output missing rl column:\n%s", out.String())
+	}
+}

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mergescale/internal/sim"
@@ -20,13 +22,26 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parses args, executes, and returns the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name  = flag.String("workload", "kmeans", "workload: kmeans | fuzzy | hop")
-		cores = flag.Int("cores", 16, "simulated core count (1..64)")
-		scale = flag.Int("scale", 4, "divide the data-set point count by this factor")
-		iters = flag.Int("iters", 10, "clustering iterations (kmeans/fuzzy)")
+		name  = fs.String("workload", "kmeans", "workload: kmeans | fuzzy | hop")
+		cores = fs.Int("cores", 16, "simulated core count (1..64)")
+		scale = fs.Int("scale", 4, "divide the data-set point count by this factor")
+		iters = fs.Int("iters", 10, "clustering iterations (kmeans/fuzzy)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	var w workload.Workload
 	switch *name {
@@ -41,43 +56,48 @@ func main() {
 	case "hop":
 		w = hop.New()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown workload %q\n", *name)
+		return 2
 	}
 
+	cfg := sim.DefaultConfig(*cores)
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 	ds, err := datagen.Generate(w.DefaultSpec())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	cfg := sim.DefaultConfig(*cores)
 	prog, err := w.BuildProgram(ds, cfg, *scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	m, err := sim.NewMachine(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	res, err := m.Run(prog)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
-	fmt.Printf("workload  %s  (data %s, scale 1/%d)\n", w.Name(), ds.Spec.Label, *scale)
-	fmt.Printf("machine   %d cores, L1 %dK/%d-way, L2 %dM/%d-way, MESI, 2D mesh\n",
+	fmt.Fprintf(stdout, "workload  %s  (data %s, scale 1/%d)\n", w.Name(), ds.Spec.Label, *scale)
+	fmt.Fprintf(stdout, "machine   %d cores, L1 %dK/%d-way, L2 %dM/%d-way, MESI, 2D mesh\n",
 		cfg.Cores, cfg.L1Size>>10, cfg.L1Ways, cfg.L2Size>>20, cfg.L2Ways)
-	fmt.Printf("cycles    %d total\n", res.Cycles)
+	fmt.Fprintf(stdout, "cycles    %d total\n", res.Cycles)
 	for _, phase := range res.PhaseNames() {
 		cy := res.PhaseCycles(phase)
-		fmt.Printf("  %-10s %12d cycles  (%5.2f%%)\n", phase, cy, 100*float64(cy)/float64(res.Cycles))
+		fmt.Fprintf(stdout, "  %-10s %12d cycles  (%5.2f%%)\n", phase, cy, 100*float64(cy)/float64(res.Cycles))
 	}
 	c := res.Counters
-	fmt.Printf("memory    loads %d, stores %d\n", c.Loads, c.Stores)
-	fmt.Printf("          L1 hits %d / misses %d, L2 hits %d / misses %d\n", c.L1Hits, c.L1Misses, c.L2Hits, c.L2Misses)
-	fmt.Printf("coherence c2c transfers %d, invalidations %d, writebacks %d\n", c.C2CTransfers, c.Invalidations, c.WriteBacks)
-	fmt.Printf("sync      %d barriers\n", c.Barriers)
+	fmt.Fprintf(stdout, "memory    loads %d, stores %d\n", c.Loads, c.Stores)
+	fmt.Fprintf(stdout, "          L1 hits %d / misses %d, L2 hits %d / misses %d\n", c.L1Hits, c.L1Misses, c.L2Hits, c.L2Misses)
+	fmt.Fprintf(stdout, "coherence c2c transfers %d, invalidations %d, writebacks %d\n", c.C2CTransfers, c.Invalidations, c.WriteBacks)
+	fmt.Fprintf(stdout, "sync      %d barriers\n", c.Barriers)
+	return 0
 }

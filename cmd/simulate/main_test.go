@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHelp(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h exit code = %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-workload") {
+		t.Fatalf("flag help missing:\n%s", errOut.String())
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-workload", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown workload exit code = %d, want 2", code)
+	}
+}
+
+// TestQuickWorkload simulates a heavily scaled-down kmeans run and checks
+// the report sections appear.
+func TestQuickWorkload(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-workload", "kmeans", "-cores", "4", "-scale", "64", "-iters", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"workload  kmeans", "machine   4 cores", "cycles", "memory", "coherence", "sync"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestInvalidCores(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-cores", "0"}, &out, &errOut); code != 2 {
+		t.Fatalf("-cores 0 exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "at least one core") {
+		t.Fatalf("expected core-count error, got: %s", errOut.String())
+	}
+	if code := run([]string{"-cores", "128"}, &out, &errOut); code != 2 {
+		t.Fatalf("-cores 128 exit code = %d, want 2", code)
+	}
+}

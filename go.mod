@@ -1,0 +1,3 @@
+module mergescale
+
+go 1.22

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+
+	"mergescale/internal/engine"
+)
+
+// This file contains the engine-backed forms of the design-space sweeps:
+// each grid point becomes one engine sub-job, so a sweep sharded from
+// inside an experiment job fans out across the worker pool, and repeated
+// design points (the same app/budget/r tuple appearing in several panels
+// or repeated runs) are computed once via the config-hash cache.
+//
+// The serial functions in sweep.go remain the reference implementation;
+// every engine variant falls back to them when eng is nil, and the tests
+// assert point-for-point equality between the two paths.
+
+// sweepPointJob evaluates one design point, preserving the serial sweeps'
+// behavior of skipping invalid designs (signalled by ok=false).
+type sweepEval struct {
+	Point SweepPoint
+	OK    bool
+}
+
+// runSweep fans one evaluation per grid value through the engine and
+// collects valid points in grid order.
+func runSweep(ctx context.Context, eng *engine.Engine, grid []float64, key func(float64) string, eval func(float64) sweepEval) ([]SweepPoint, error) {
+	evals, err := engine.Map(ctx, eng, grid, key, func(_ context.Context, v float64) (sweepEval, error) {
+		return eval(v), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]SweepPoint, 0, len(grid))
+	for _, ev := range evals {
+		if ev.OK {
+			pts = append(pts, ev.Point)
+		}
+	}
+	return pts, nil
+}
+
+// SweepSymmetricEngine is the engine-backed SweepSymmetric. A nil eng (or
+// nil ctx) degrades to the serial implementation.
+func SweepSymmetricEngine(ctx context.Context, eng *engine.Engine, app AppParams, b Budget, rs []float64) ([]SweepPoint, error) {
+	if eng == nil {
+		return SweepSymmetric(app, b, rs), nil
+	}
+	return runSweep(ctx, eng, rs,
+		func(r float64) string { return engine.Key("sweep-sym", app, b, r) },
+		func(r float64) sweepEval {
+			d := SymDesign{Budget: b, R: r}
+			if d.Validate() != nil {
+				return sweepEval{}
+			}
+			return sweepEval{Point: SweepPoint{R: r, Speedup: SpeedupCMP(app, d)}, OK: true}
+		})
+}
+
+// SweepAsymmetricEngine is the engine-backed SweepAsymmetric.
+func SweepAsymmetricEngine(ctx context.Context, eng *engine.Engine, app AppParams, b Budget, rls []float64, r float64) ([]SweepPoint, error) {
+	if eng == nil {
+		return SweepAsymmetric(app, b, rls, r), nil
+	}
+	return runSweep(ctx, eng, rls,
+		func(rl float64) string { return engine.Key("sweep-asym", app, b, rl, r) },
+		func(rl float64) sweepEval {
+			d := AsymDesign{Budget: b, RL: rl, R: r}
+			if d.Validate() != nil {
+				return sweepEval{}
+			}
+			return sweepEval{Point: SweepPoint{R: rl, Speedup: SpeedupACMP(app, d)}, OK: true}
+		})
+}
+
+// SweepSymmetricCommEngine is the engine-backed SweepSymmetricComm.
+func SweepSymmetricCommEngine(ctx context.Context, eng *engine.Engine, m CommModel, b Budget, rs []float64) ([]SweepPoint, error) {
+	if eng == nil {
+		return SweepSymmetricComm(m, b, rs), nil
+	}
+	return runSweep(ctx, eng, rs,
+		func(r float64) string { return engine.Key("sweep-sym-comm", m, b, r) },
+		func(r float64) sweepEval {
+			d := SymDesign{Budget: b, R: r}
+			if d.Validate() != nil {
+				return sweepEval{}
+			}
+			return sweepEval{Point: SweepPoint{R: r, Speedup: m.SpeedupCMP(d)}, OK: true}
+		})
+}
+
+// SweepAsymmetricCommEngine is the engine-backed SweepAsymmetricComm.
+func SweepAsymmetricCommEngine(ctx context.Context, eng *engine.Engine, m CommModel, b Budget, rls []float64, r float64) ([]SweepPoint, error) {
+	if eng == nil {
+		return SweepAsymmetricComm(m, b, rls, r), nil
+	}
+	return runSweep(ctx, eng, rls,
+		func(rl float64) string { return engine.Key("sweep-asym-comm", m, b, rl, r) },
+		func(rl float64) sweepEval {
+			d := AsymDesign{Budget: b, RL: rl, R: r}
+			if d.Validate() != nil {
+				return sweepEval{}
+			}
+			return sweepEval{Point: SweepPoint{R: rl, Speedup: m.SpeedupACMP(d)}, OK: true}
+		})
+}

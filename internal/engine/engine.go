@@ -1,0 +1,288 @@
+// Package engine is the concurrent experiment runtime: a bounded worker
+// pool that executes heterogeneous jobs (paper artifacts, design-space
+// sweep points, simulator runs) with per-job context cancellation, a
+// config-hash result cache, and deterministic output ordering.
+//
+// The engine is deliberately independent of the model and workload
+// packages so that any layer — cmd/mergescale submitting whole
+// experiments, internal/core sharding a sweep into per-point sub-jobs —
+// can fan out through the same pool. Nested submission is safe: when every
+// worker slot is busy (e.g. a sweep sharded from inside an experiment
+// job), Run executes the job inline on the calling goroutine instead of
+// queueing, so a job waiting for its sub-jobs can never deadlock the pool.
+//
+// Determinism contract: Run returns results in submission order no matter
+// which worker finishes first, and the cache returns the identical value
+// computed by the first submitter of a key. A parallel run therefore
+// yields a byte-identical result set to a serial run of the same jobs,
+// provided the job functions themselves are deterministic.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers bounds concurrent job execution; <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// DisableCache turns the result cache off (every job computes).
+	DisableCache bool
+}
+
+// Job is one unit of work.
+type Job struct {
+	// ID labels the job in results (not required to be unique).
+	ID string
+	// Key is the config-hash cache key. Jobs sharing a Key are computed
+	// once: the first submitter runs Fn, later submitters wait for and
+	// share its result. An empty Key disables caching for the job.
+	Key string
+	// Fn computes the result. It must honor ctx cancellation for prompt
+	// shutdown and must be deterministic for its Key.
+	Fn func(ctx context.Context) (any, error)
+}
+
+// Result is the outcome of one submitted job, reported in submission order.
+type Result struct {
+	ID     string
+	Value  any
+	Err    error
+	Cached bool // satisfied by the cache (shared or replayed result)
+}
+
+// Stats counts cache traffic and execution modes since engine creation.
+type Stats struct {
+	Hits     uint64 // jobs satisfied by a cached or in-flight computation
+	Misses   uint64 // cacheable jobs that had to compute
+	Executed uint64 // job functions actually invoked
+	Inline   uint64 // jobs run on the submitting goroutine (pool saturated)
+}
+
+// Engine is a reusable bounded-concurrency job runner. The zero value is
+// not usable; call New.
+type Engine struct {
+	workers int
+	sem     chan struct{}
+	noCache bool
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	executed atomic.Uint64
+	inline   atomic.Uint64
+}
+
+// cacheEntry is a singleflight slot: done closes once val/err are set.
+type cacheEntry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New creates an engine with cfg.Workers slots (GOMAXPROCS when <= 0).
+func New(cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	// The goroutine calling Run participates as one of the w workers (it
+	// executes jobs inline whenever no pool slot is free), so only w-1
+	// extra goroutines may run at once. Workers=1 is therefore fully
+	// serial on the calling goroutine.
+	return &Engine{
+		workers: w,
+		sem:     make(chan struct{}, w-1),
+		noCache: cfg.DisableCache,
+		cache:   map[string]*cacheEntry{},
+	}
+}
+
+// Workers returns the concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Hits:     e.hits.Load(),
+		Misses:   e.misses.Load(),
+		Executed: e.executed.Load(),
+		Inline:   e.inline.Load(),
+	}
+}
+
+// Run executes jobs with at most Workers in flight and returns their
+// results in submission order. It blocks until every job has finished or
+// observed ctx cancellation. Run is safe for concurrent use and for
+// nested calls from inside job functions.
+func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		select {
+		case e.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-e.sem }()
+				results[i] = e.exec(ctx, jobs[i])
+			}(i)
+		default:
+			// Pool saturated (or a nested Run inside a worker): execute on
+			// this goroutine so submitters can never deadlock waiting for
+			// their own sub-jobs.
+			e.inline.Add(1)
+			results[i] = e.exec(ctx, jobs[i])
+		}
+	}
+	wg.Wait()
+	return results
+}
+
+// RunOne is the single-job convenience form of Run.
+func (e *Engine) RunOne(ctx context.Context, job Job) Result {
+	return e.Run(ctx, []Job{job})[0]
+}
+
+// exec runs one job through the cache.
+func (e *Engine) exec(ctx context.Context, job Job) Result {
+	if err := ctx.Err(); err != nil {
+		return Result{ID: job.ID, Err: err}
+	}
+	if e.noCache || job.Key == "" {
+		val, err := e.invoke(ctx, job)
+		return Result{ID: job.ID, Value: val, Err: err}
+	}
+
+	for {
+		e.mu.Lock()
+		entry, ok := e.cache[job.Key]
+		if !ok {
+			entry = &cacheEntry{done: make(chan struct{})}
+			e.cache[job.Key] = entry
+			e.mu.Unlock()
+			e.misses.Add(1)
+
+			entry.val, entry.err = e.invoke(ctx, job)
+			if isCancellation(entry.err) {
+				// Do not poison the cache with a cancellation: drop the
+				// entry (before closing done, so awakened waiters re-look
+				// it up and find it gone) so a later run recomputes.
+				e.mu.Lock()
+				if e.cache[job.Key] == entry {
+					delete(e.cache, job.Key)
+				}
+				e.mu.Unlock()
+			}
+			close(entry.done)
+			return Result{ID: job.ID, Value: entry.val, Err: entry.err}
+		}
+		e.mu.Unlock()
+
+		select {
+		case <-entry.done:
+			if isCancellation(entry.err) && ctx.Err() == nil {
+				// The computing submitter was cancelled, not us; the entry
+				// has been evicted, so retry with our live context.
+				continue
+			}
+			e.hits.Add(1)
+			return Result{ID: job.ID, Value: entry.val, Err: entry.err, Cached: true}
+		case <-ctx.Done():
+			return Result{ID: job.ID, Err: ctx.Err()}
+		}
+	}
+}
+
+// isCancellation reports whether err came from context cancellation or
+// expiry rather than the job's own logic.
+func isCancellation(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// invoke calls the job function, converting a panic into an error so one
+// bad job cannot take down the whole sweep.
+func (e *Engine) invoke(ctx context.Context, job Job) (val any, err error) {
+	e.executed.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: job %q panicked: %v", job.ID, r)
+		}
+	}()
+	return job.Fn(ctx)
+}
+
+// InvalidateCache drops every cached result.
+func (e *Engine) InvalidateCache() {
+	e.mu.Lock()
+	e.cache = map[string]*cacheEntry{}
+	e.mu.Unlock()
+}
+
+// CacheLen returns the number of cached keys (including in-flight ones).
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// Key builds a deterministic cache key by hashing the %#v rendering of
+// each part with FNV-1a. Parts must have deterministic %#v output (structs
+// of scalars and slices — not maps).
+func Key(parts ...any) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%#v\x00", p)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Map fans items out through the engine and collects the outputs in item
+// order. key may be nil (no caching); id labels jobs for error reporting.
+// The first error in item order is returned alongside the partial outputs.
+func Map[In, Out any](ctx context.Context, e *Engine, items []In, key func(In) string, fn func(context.Context, In) (Out, error)) ([]Out, error) {
+	jobs := make([]Job, len(items))
+	for i, item := range items {
+		item := item
+		k := ""
+		if key != nil {
+			k = key(item)
+		}
+		jobs[i] = Job{
+			ID:  fmt.Sprintf("map[%d]", i),
+			Key: k,
+			Fn: func(ctx context.Context) (any, error) {
+				return fn(ctx, item)
+			},
+		}
+	}
+	res := e.Run(ctx, jobs)
+	out := make([]Out, len(items))
+	var firstErr error
+	for i, r := range res {
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", r.ID, r.Err)
+			}
+			continue
+		}
+		v, ok := r.Value.(Out)
+		if !ok && r.Value != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: unexpected result type %T", r.ID, r.Value)
+			}
+			continue
+		}
+		out[i] = v
+	}
+	return out, firstErr
+}

@@ -1,0 +1,414 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// buildJobs makes n deterministic jobs seeded by seed; each returns a
+// string derived from its index so result ordering is observable.
+func buildJobs(seed, n int, key bool) []Job {
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		k := ""
+		if key {
+			k = Key("job", seed, i)
+		}
+		jobs[i] = Job{
+			ID:  fmt.Sprintf("s%d-j%d", seed, i),
+			Key: k,
+			Fn: func(context.Context) (any, error) {
+				return fmt.Sprintf("seed=%d idx=%d val=%d", seed, i, seed*1000+i*7), nil
+			},
+		}
+	}
+	return jobs
+}
+
+// TestDeterministicOrdering asserts that a parallel run returns the exact
+// result sequence of a serial run, across 20 seeds.
+func TestDeterministicOrdering(t *testing.T) {
+	for seed := 0; seed < 20; seed++ {
+		serial := New(Config{Workers: 1})
+		parallel := New(Config{Workers: 8})
+		jobs := buildJobs(seed, 64, false)
+		want := serial.Run(context.Background(), jobs)
+		got := parallel.Run(context.Background(), jobs)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d: parallel results differ from serial\nserial:   %v\nparallel: %v", seed, want, got)
+		}
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	e := New(Config{})
+	if e.Workers() < 1 {
+		t.Fatalf("default workers = %d, want >= 1", e.Workers())
+	}
+	if got := New(Config{Workers: 3}).Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+}
+
+// TestCacheAccounting checks hit/miss counters and that cached jobs reuse
+// the first computation.
+func TestCacheAccounting(t *testing.T) {
+	e := New(Config{Workers: 4})
+	var calls atomic.Int64
+	job := Job{
+		ID:  "cached",
+		Key: Key("fixed"),
+		Fn: func(context.Context) (any, error) {
+			calls.Add(1)
+			return "value", nil
+		},
+	}
+	jobs := make([]Job, 10)
+	for i := range jobs {
+		jobs[i] = job
+	}
+	res := e.Run(context.Background(), jobs)
+	for i, r := range res {
+		if r.Err != nil || r.Value != "value" {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("job computed %d times, want 1", got)
+	}
+	st := e.Stats()
+	if st.Misses != 1 || st.Hits != 9 {
+		t.Fatalf("stats = %+v, want 1 miss / 9 hits", st)
+	}
+	cached := 0
+	for _, r := range res {
+		if r.Cached {
+			cached++
+		}
+	}
+	if cached != 9 {
+		t.Fatalf("%d results marked Cached, want 9", cached)
+	}
+
+	// A second run is all hits.
+	e.Run(context.Background(), jobs[:4])
+	if st := e.Stats(); st.Misses != 1 || st.Hits != 13 {
+		t.Fatalf("after second run stats = %+v, want 1 miss / 13 hits", st)
+	}
+
+	e.InvalidateCache()
+	if e.CacheLen() != 0 {
+		t.Fatalf("cache not empty after invalidate")
+	}
+	e.Run(context.Background(), jobs[:1])
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("after invalidate job computed %d times, want 2", got)
+	}
+}
+
+// TestCacheDisabled verifies DisableCache computes every submission.
+func TestCacheDisabled(t *testing.T) {
+	e := New(Config{Workers: 2, DisableCache: true})
+	var calls atomic.Int64
+	jobs := make([]Job, 5)
+	for i := range jobs {
+		jobs[i] = Job{ID: "j", Key: Key("same"), Fn: func(context.Context) (any, error) {
+			calls.Add(1)
+			return nil, nil
+		}}
+	}
+	e.Run(context.Background(), jobs)
+	if calls.Load() != 5 {
+		t.Fatalf("computed %d times, want 5", calls.Load())
+	}
+	if st := e.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("cache counters moved with cache disabled: %+v", st)
+	}
+}
+
+// TestCancellationMidSweep cancels while a batch is in flight and checks
+// that unstarted jobs report ctx.Err() without executing.
+func TestCancellationMidSweep(t *testing.T) {
+	e := New(Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int64
+	started := make(chan struct{})
+	var once sync.Once
+	block := make(chan struct{})
+
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		jobs[i] = Job{
+			ID: fmt.Sprintf("j%d", i),
+			Fn: func(ctx context.Context) (any, error) {
+				once.Do(func() { close(started) })
+				executed.Add(1)
+				select {
+				case <-block:
+					return "done", nil
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			},
+		}
+	}
+	go func() {
+		<-started
+		cancel()
+		close(block)
+	}()
+	res := e.Run(ctx, jobs)
+	var cancelled int
+	for _, r := range res {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatalf("no job observed cancellation; executed=%d", executed.Load())
+	}
+	if executed.Load() == int64(len(jobs)) {
+		t.Log("all jobs started before cancel (slow machine); cancellation still observed")
+	}
+}
+
+// TestCancellationNotCached ensures a cancelled computation does not poison
+// the cache: a later run with a live context recomputes the key.
+func TestCancellationNotCached(t *testing.T) {
+	e := New(Config{Workers: 1})
+	key := Key("retry")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := e.RunOne(ctx, Job{ID: "first", Key: key, Fn: func(ctx context.Context) (any, error) {
+		return nil, ctx.Err()
+	}})
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("first run err = %v, want context.Canceled", res.Err)
+	}
+	res = e.RunOne(context.Background(), Job{ID: "second", Key: key, Fn: func(context.Context) (any, error) {
+		return "fresh", nil
+	}})
+	if res.Err != nil || res.Value != "fresh" {
+		t.Fatalf("second run = %+v, want fresh value", res)
+	}
+}
+
+// TestErrorsAreCached verifies deterministic (non-cancellation) errors are
+// shared like values.
+func TestErrorsAreCached(t *testing.T) {
+	e := New(Config{Workers: 2})
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	job := Job{ID: "e", Key: Key("err"), Fn: func(context.Context) (any, error) {
+		calls.Add(1)
+		return nil, boom
+	}}
+	res := e.Run(context.Background(), []Job{job, job, job})
+	for i, r := range res {
+		if !errors.Is(r.Err, boom) {
+			t.Fatalf("result %d err = %v, want boom", i, r.Err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("error computed %d times, want 1", calls.Load())
+	}
+}
+
+// TestNestedSubmission runs jobs that themselves submit sub-jobs through
+// the same saturated engine; inline execution must prevent deadlock.
+func TestNestedSubmission(t *testing.T) {
+	e := New(Config{Workers: 2})
+	outer := make([]Job, 8)
+	for i := range outer {
+		i := i
+		outer[i] = Job{
+			ID: fmt.Sprintf("outer%d", i),
+			Fn: func(ctx context.Context) (any, error) {
+				sub := make([]Job, 4)
+				for j := range sub {
+					j := j
+					sub[j] = Job{ID: fmt.Sprintf("inner%d-%d", i, j), Fn: func(context.Context) (any, error) {
+						return i*10 + j, nil
+					}}
+				}
+				total := 0
+				for _, r := range e.Run(ctx, sub) {
+					if r.Err != nil {
+						return nil, r.Err
+					}
+					total += r.Value.(int)
+				}
+				return total, nil
+			},
+		}
+	}
+	done := make(chan []Result, 1)
+	go func() { done <- e.Run(context.Background(), outer) }()
+	select {
+	case res := <-done:
+		for i, r := range res {
+			want := i*40 + 6 // sum of i*10+j for j in 0..3
+			if r.Err != nil || r.Value.(int) != want {
+				t.Fatalf("outer %d = %+v, want %d", i, r, want)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested submission deadlocked")
+	}
+}
+
+// TestPanicIsolated converts a panicking job into an error without
+// crashing the pool.
+func TestPanicIsolated(t *testing.T) {
+	e := New(Config{Workers: 2})
+	res := e.Run(context.Background(), []Job{
+		{ID: "ok", Fn: func(context.Context) (any, error) { return 1, nil }},
+		{ID: "bad", Fn: func(context.Context) (any, error) { panic("kaboom") }},
+		{ID: "ok2", Fn: func(context.Context) (any, error) { return 2, nil }},
+	})
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Fatalf("healthy jobs errored: %+v", res)
+	}
+	if res[1].Err == nil || res[1].Value != nil {
+		t.Fatalf("panicking job result = %+v, want error", res[1])
+	}
+}
+
+// TestKeyDeterminism checks Key is stable and collision-free across
+// distinct part tuples.
+func TestKeyDeterminism(t *testing.T) {
+	type opts struct {
+		Quick bool
+		Scale int
+	}
+	a := Key("fig4", opts{Quick: true, Scale: 2})
+	b := Key("fig4", opts{Quick: true, Scale: 2})
+	if a != b {
+		t.Fatalf("identical parts hashed differently: %s vs %s", a, b)
+	}
+	seen := map[string]string{}
+	for _, parts := range [][]any{
+		{"fig4", opts{}},
+		{"fig4", opts{Quick: true}},
+		{"fig5", opts{}},
+		{"fig4", opts{Scale: 1}},
+		{"fig4", "extra"},
+	} {
+		k := Key(parts...)
+		label := fmt.Sprintf("%v", parts)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("key collision between %s and %s", prev, label)
+		}
+		seen[k] = label
+	}
+}
+
+// TestMap checks ordered fan-out with caching and error propagation.
+func TestMap(t *testing.T) {
+	e := New(Config{Workers: 4})
+	items := []int{1, 2, 3, 4, 5, 3, 2}
+	var calls atomic.Int64
+	out, err := Map(context.Background(), e, items,
+		func(v int) string { return Key("sq", v) },
+		func(_ context.Context, v int) (int, error) {
+			calls.Add(1)
+			return v * v, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 4, 9, 16, 25, 9, 4}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("Map = %v, want %v", out, want)
+	}
+	if calls.Load() != 5 {
+		t.Fatalf("computed %d distinct items, want 5 (two were cached)", calls.Load())
+	}
+
+	_, err = Map(context.Background(), e, []int{7, 8}, nil,
+		func(_ context.Context, v int) (int, error) {
+			if v == 8 {
+				return 0, errors.New("eight is unlucky")
+			}
+			return v, nil
+		})
+	if err == nil {
+		t.Fatal("Map swallowed the error")
+	}
+}
+
+// TestConcurrentRunCallers hammers one engine from many goroutines to give
+// the race detector surface area.
+func TestConcurrentRunCallers(t *testing.T) {
+	e := New(Config{Workers: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			jobs := buildJobs(g, 32, true)
+			for rep := 0; rep < 3; rep++ {
+				for _, r := range e.Run(context.Background(), jobs) {
+					if r.Err != nil {
+						t.Errorf("goroutine %d: %v", g, r.Err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Misses != 8*32 {
+		t.Fatalf("misses = %d, want %d (one per distinct key)", st.Misses, 8*32)
+	}
+}
+
+// TestWaiterSurvivesComputerCancellation covers the singleflight edge
+// where the goroutine computing a key is cancelled while another submitter
+// with a live context waits on it: the waiter must recompute, not inherit
+// the foreign cancellation.
+func TestWaiterSurvivesComputerCancellation(t *testing.T) {
+	e := New(Config{Workers: 4})
+	key := Key("shared-flight")
+	ctxA, cancelA := context.WithCancel(context.Background())
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	var resA, resB Result
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resA = e.RunOne(ctxA, Job{ID: "computer", Key: key, Fn: func(ctx context.Context) (any, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}})
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resB = e.RunOne(context.Background(), Job{ID: "waiter", Key: key, Fn: func(context.Context) (any, error) {
+			return "recomputed", nil
+		}})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter block on the in-flight entry
+	cancelA()
+	wg.Wait()
+
+	if !errors.Is(resA.Err, context.Canceled) {
+		t.Fatalf("computer result = %+v, want context.Canceled", resA)
+	}
+	if resB.Err != nil || resB.Value != "recomputed" {
+		t.Fatalf("waiter result = %+v, want recomputed value", resB)
+	}
+}

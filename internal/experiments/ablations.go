@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mergescale/internal/core"
@@ -13,7 +14,7 @@ import (
 // AblGrowth quantifies how the assumed growth function changes the
 // predicted peak configuration for the Table II applications — the design
 // choice called out in Section III.
-func AblGrowth(Options) (*report.Document, error) {
+func AblGrowth(_ context.Context, _ Options) (*report.Document, error) {
 	doc := &report.Document{ID: "abl-growth", Title: "Growth-function ablation"}
 	t := doc.AddTable("Peak equal-core configuration by growth function",
 		"Application", "growth", "peak cores", "peak speedup", "speedup at 256")
@@ -33,7 +34,7 @@ func AblGrowth(Options) (*report.Document, error) {
 // AblTopology swaps the interconnect under the communication model
 // (Equation 8 assumes a 2D mesh; richer fabrics shift the optimum back
 // toward many small cores).
-func AblTopology(Options) (*report.Document, error) {
+func AblTopology(_ context.Context, _ Options) (*report.Document, error) {
 	doc := &report.Document{ID: "abl-topology", Title: "Interconnect-topology ablation for Eq. 8"}
 	b := core.DefaultBudget
 	app := core.AppParams{Name: "non-emb-moderate", F: 0.99, FCon: 0.60, Growth: core.GrowthNone}
@@ -61,7 +62,7 @@ func AblTopology(Options) (*report.Document, error) {
 
 // AblStrategy compares the three merging-phase implementations both in the
 // analytical cost model and with the native reduction executor.
-func AblStrategy(opt Options) (*report.Document, error) {
+func AblStrategy(_ context.Context, opt Options) (*report.Document, error) {
 	doc := &report.Document{ID: "abl-strategy", Title: "Reduction-strategy ablation"}
 	x := 4096 // reduction elements
 	threadGrid := []int{1, 2, 4, 8, 16, 32}
@@ -105,7 +106,7 @@ func AblStrategy(opt Options) (*report.Document, error) {
 
 // AblBudget scales the chip budget beyond the paper's 256 BCEs and tracks
 // where the optimal symmetric core size moves for a high-overhead class.
-func AblBudget(Options) (*report.Document, error) {
+func AblBudget(_ context.Context, _ Options) (*report.Document, error) {
 	doc := &report.Document{ID: "abl-budget", Title: "BCE-budget scaling ablation"}
 	app := core.AppParams{Name: "non-emb-high-red", F: 0.99, FCon: 0.60, FOred: 0.80, Growth: core.GrowthLinear}
 	base := core.AppParams{Name: "amdahl", F: 0.99, FCon: 0.60, FOred: 0.80, Growth: core.GrowthNone}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"mergescale/internal/engine"
+	"mergescale/internal/report"
+)
+
+// Outcome is the result of one experiment submitted through the engine.
+type Outcome struct {
+	Experiment
+	Doc    *report.Document
+	Err    error
+	Cached bool
+}
+
+// RunAll executes targets concurrently through eng and returns outcomes in
+// target order regardless of completion order, so rendering the outcomes
+// is byte-identical to a serial run. Each experiment is one engine job
+// keyed by its config hash; experiments additionally shard their internal
+// sweeps into sub-jobs on the same engine (via opt.Engine), which the
+// engine executes inline when the pool is saturated. A nil eng runs the
+// targets serially on the calling goroutine.
+func RunAll(ctx context.Context, eng *engine.Engine, targets []Experiment, opt Options) []Outcome {
+	outcomes := make([]Outcome, len(targets))
+	if eng == nil {
+		opt.Engine = nil
+		for i, e := range targets {
+			outcomes[i] = Outcome{Experiment: e}
+			outcomes[i].Doc, outcomes[i].Err = e.Run(ctx, opt)
+		}
+		return outcomes
+	}
+
+	opt.Engine = eng
+	jobs := make([]engine.Job, len(targets))
+	for i, e := range targets {
+		e := e
+		jobs[i] = engine.Job{
+			ID:  e.ID,
+			Key: cacheKey(e.ID, opt),
+			Fn: func(ctx context.Context) (any, error) {
+				return e.Run(ctx, opt)
+			},
+		}
+	}
+	for i, r := range eng.Run(ctx, jobs) {
+		outcomes[i] = Outcome{Experiment: targets[i], Cached: r.Cached, Err: r.Err}
+		if r.Err != nil {
+			continue
+		}
+		doc, ok := r.Value.(*report.Document)
+		if !ok {
+			outcomes[i].Err = fmt.Errorf("%s: unexpected result type %T", targets[i].ID, r.Value)
+			continue
+		}
+		outcomes[i].Doc = doc
+	}
+	return outcomes
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"mergescale/internal/engine"
+)
+
+// renderAll renders outcomes in order, failing on any experiment error.
+func renderAll(t *testing.T, outcomes []Outcome) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.ID, o.Err)
+		}
+		if err := o.Doc.Render(&buf); err != nil {
+			t.Fatalf("%s: render: %v", o.ID, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestRunAllMatchesSerial is the headline determinism guarantee: the
+// rendered output of a concurrent engine run over the full registry is
+// byte-identical to a serial run, for several worker counts.
+func TestRunAllMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	ctx := context.Background()
+	reg := Registry()
+	want := renderAll(t, RunAll(ctx, nil, reg, quick))
+	if len(want) == 0 {
+		t.Fatal("serial run rendered nothing")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		eng := engine.New(engine.Config{Workers: workers})
+		got := renderAll(t, RunAll(ctx, eng, reg, quick))
+		if !bytes.Equal(want, got) {
+			t.Fatalf("workers=%d: parallel rendering differs from serial (%d vs %d bytes)", workers, len(got), len(want))
+		}
+	}
+}
+
+// TestRunAllCacheReplay runs the registry twice on one engine: the second
+// pass must be served entirely from the cache.
+func TestRunAllCacheReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	ctx := context.Background()
+	reg := Registry()
+	eng := engine.New(engine.Config{Workers: 4})
+
+	first := renderAll(t, RunAll(ctx, eng, reg, quick))
+	executed := eng.Stats().Executed
+
+	outcomes := RunAll(ctx, eng, reg, quick)
+	for _, o := range outcomes {
+		if !o.Cached {
+			t.Errorf("%s: second run not served from cache", o.ID)
+		}
+	}
+	if again := eng.Stats().Executed; again != executed {
+		t.Errorf("second run executed %d new jobs, want 0", again-executed)
+	}
+	second := renderAll(t, outcomes)
+	if !bytes.Equal(first, second) {
+		t.Error("cached replay rendered differently")
+	}
+
+	// Different options must NOT hit the quick-mode cache entries.
+	if k1, k2 := cacheKey("fig4", quick), cacheKey("fig4", Options{}); k1 == k2 {
+		t.Error("cache key ignores Options differences")
+	}
+	// The engine pointer must not influence the key (it is scheduling
+	// state, not configuration).
+	withEng := quick
+	withEng.Engine = eng
+	if cacheKey("fig4", quick) != cacheKey("fig4", withEng) {
+		t.Error("cache key depends on the engine pointer")
+	}
+}
+
+// TestRunAllCancellation cancels a registry run up front: every outcome
+// must carry the context error and none may hold a document.
+func TestRunAllCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := engine.New(engine.Config{Workers: 4})
+	for _, o := range RunAll(ctx, eng, Registry(), quick) {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", o.ID, o.Err)
+		}
+		if o.Doc != nil {
+			t.Errorf("%s: cancelled run produced a document", o.ID)
+		}
+	}
+	// The cancelled results must not have poisoned the cache.
+	outcomes := RunAll(context.Background(), eng, Registry()[:1], quick)
+	if outcomes[0].Err != nil || outcomes[0].Doc == nil {
+		t.Fatalf("run after cancellation: %+v", outcomes[0])
+	}
+}
+
+// TestRunAllSubset checks single-target submission (the cmd path for
+// `run <id>`) and that sweep sub-jobs ride the same engine.
+func TestRunAllSubset(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 4})
+	e, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := RunAll(context.Background(), eng, []Experiment{e}, quick)
+	if outcomes[0].Err != nil {
+		t.Fatal(outcomes[0].Err)
+	}
+	st := eng.Stats()
+	// fig4 alone shards 16 series × the power-of-two grid into sub-jobs:
+	// far more executions than the single experiment job.
+	if st.Executed < 10 {
+		t.Errorf("expected sweep sub-jobs on the engine, got %d executions", st.Executed)
+	}
+}

@@ -6,9 +6,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"mergescale/internal/engine"
 	"mergescale/internal/report"
 	"mergescale/internal/workload"
 	"mergescale/internal/workload/datagen"
@@ -25,13 +27,24 @@ type Options struct {
 	// UseDuration bases the native-run experiments (Fig. 2(c)) on wall
 	// clock instead of deterministic operation counts.
 	UseDuration bool
+	// Engine, when non-nil, lets experiments shard internal work (design-
+	// space sweep points, per-workload simulations) into engine sub-jobs.
+	// It is excluded from cache keys; see cacheKey.
+	Engine *engine.Engine
+}
+
+// cacheKey hashes an experiment id plus every Options field that changes
+// its output. The Engine pointer only affects scheduling, never results
+// (asserted by TestRunAllMatchesSerial), so it is deliberately excluded.
+func cacheKey(id string, opt Options) string {
+	return engine.Key("experiment", id, opt.Quick, opt.UseDuration)
 }
 
 // Experiment is one regenerable artifact.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Options) (*report.Document, error)
+	Run   func(context.Context, Options) (*report.Document, error)
 }
 
 // Registry returns all experiments in paper order.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strconv"
 	"strings"
@@ -58,7 +59,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			doc, err := e.Run(quick)
+			doc, err := e.Run(context.Background(), quick)
 			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}
@@ -81,7 +82,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 }
 
 func TestFig4MatchesPaperPeaks(t *testing.T) {
-	doc, err := Fig4(quick)
+	doc, err := Fig4(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestFig4MatchesPaperPeaks(t *testing.T) {
 }
 
 func TestFig7MatchesPaperPeaks(t *testing.T) {
-	doc, err := Fig7(quick)
+	doc, err := Fig7(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestFig7MatchesPaperPeaks(t *testing.T) {
 }
 
 func TestFig3PeaksBelow256(t *testing.T) {
-	doc, err := Fig3(quick)
+	doc, err := Fig3(context.Background(), quick)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mergescale/internal/core"
@@ -12,7 +13,7 @@ import (
 // model — the combination the paper's related-work section proposes
 // (Eyerman & Eeckhout's critical-section term alongside the growing
 // reduction term).
-func ExtCritical(Options) (*report.Document, error) {
+func ExtCritical(_ context.Context, _ Options) (*report.Document, error) {
 	doc := &report.Document{ID: "ext-critical", Title: "Combined merging-phase + critical-section model"}
 	b := core.DefaultBudget
 	app := core.AppParams{Name: "non-emb-moderate", F: 0.99, FCon: 0.60, FOred: 0.80, Growth: core.GrowthLinear}
@@ -42,7 +43,7 @@ func ExtCritical(Options) (*report.Document, error) {
 // ExtLocking compares privatized (replicated) reductions against the
 // locked shared-array techniques of Jin, Yang & Agrawal — the alternative
 // implementation family the paper cites.
-func ExtLocking(opt Options) (*report.Document, error) {
+func ExtLocking(_ context.Context, opt Options) (*report.Document, error) {
 	doc := &report.Document{ID: "ext-locking", Title: "Privatized vs locked reduction techniques"}
 	threadGrid := []int{1, 2, 4, 8, 16, 32}
 	if opt.Quick {

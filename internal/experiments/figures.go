@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mergescale/internal/core"
@@ -11,12 +12,15 @@ import (
 
 // Fig2a reproduces the application-scalability plot: simulated speedup up
 // to 16 cores for the three workloads.
-func Fig2a(opt Options) (*report.Document, error) {
+func Fig2a(ctx context.Context, opt Options) (*report.Document, error) {
 	doc := &report.Document{ID: "fig2a", Title: "Application scalability (simulation)"}
 	cores := simCoreCounts(opt)
 	t := doc.AddTable("Fig 2(a) — simulated speedup vs cores", append([]string{"Application"}, intHeaders(cores)...)...)
 	ch := doc.AddChart("Fig 2(a) — speedup", "cores", "speedup", true)
 	for _, w := range workloadSet(opt) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ds, err := datasetFor(w, opt)
 		if err != nil {
 			return nil, err
@@ -41,7 +45,7 @@ func Fig2a(opt Options) (*report.Document, error) {
 
 // serialGrowthDoc is the shared implementation of Fig 2(b) (simulation) and
 // Fig 2(c) (native).
-func serialGrowthDoc(id, title string, opt Options, native bool) (*report.Document, error) {
+func serialGrowthDoc(ctx context.Context, id, title string, opt Options, native bool) (*report.Document, error) {
 	doc := &report.Document{ID: id, Title: title}
 	var grid []int
 	if native {
@@ -53,6 +57,9 @@ func serialGrowthDoc(id, title string, opt Options, native bool) (*report.Docume
 		append([]string{"Application"}, intHeaders(grid)...)...)
 	ch := doc.AddChart(title, "cores", "normalized serial time", true)
 	for _, w := range workloadSet(opt) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ds, err := datasetFor(w, opt)
 		if err != nil {
 			return nil, err
@@ -85,24 +92,27 @@ func serialGrowthDoc(id, title string, opt Options, native bool) (*report.Docume
 }
 
 // Fig2b reproduces the simulated serial-section growth.
-func Fig2b(opt Options) (*report.Document, error) {
-	return serialGrowthDoc("fig2b", "Serial section growth (simulation)", opt, false)
+func Fig2b(ctx context.Context, opt Options) (*report.Document, error) {
+	return serialGrowthDoc(ctx, "fig2b", "Serial section growth (simulation)", opt, false)
 }
 
 // Fig2c reproduces the native ("real hardware") validation of the growth.
-func Fig2c(opt Options) (*report.Document, error) {
-	return serialGrowthDoc("fig2c", "Serial behavior validation (native)", opt, true)
+func Fig2c(ctx context.Context, opt Options) (*report.Document, error) {
+	return serialGrowthDoc(ctx, "fig2c", "Serial behavior validation (native)", opt, true)
 }
 
 // Fig2d reproduces the model-accuracy plot: model-predicted over measured
 // serial-section growth.
-func Fig2d(opt Options) (*report.Document, error) {
+func Fig2d(ctx context.Context, opt Options) (*report.Document, error) {
 	doc := &report.Document{ID: "fig2d", Title: "Model accuracy (model / simulation)"}
 	grid := simCoreCounts(opt)
 	t := doc.AddTable("Fig 2(d) — predicted/measured serial time",
 		append([]string{"Application"}, intHeaders(grid)...)...)
 	worst := 0.0
 	for _, w := range workloadSet(opt) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ds, err := datasetFor(w, opt)
 		if err != nil {
 			return nil, err
@@ -134,7 +144,7 @@ func Fig2d(opt Options) (*report.Document, error) {
 
 // Fig3 compares scalability predictions with and without reduction
 // overhead for the Table II applications, out to 256 cores.
-func Fig3(Options) (*report.Document, error) {
+func Fig3(_ context.Context, _ Options) (*report.Document, error) {
 	doc := &report.Document{ID: "fig3", Title: "Scalability prediction using different models"}
 	cores := core.DoublingCoreCounts(256)
 	for _, app := range core.TableIIApps() {
@@ -178,8 +188,10 @@ var fig4Panels = []struct {
 }
 
 // Fig4 sweeps the symmetric design space for the Table III classes with
-// linear and logarithmic growth functions.
-func Fig4(Options) (*report.Document, error) {
+// linear and logarithmic growth functions. With opt.Engine set, each of
+// the 16 series (4 panels × 4 parameterizations) shards its grid points
+// into engine sub-jobs.
+func Fig4(ctx context.Context, opt Options) (*report.Document, error) {
 	doc := &report.Document{ID: "fig4", Title: "Scalability on symmetric CMPs"}
 	b := core.DefaultBudget
 	rs := core.PowerOfTwoRs(b.N)
@@ -189,7 +201,10 @@ func Fig4(Options) (*report.Document, error) {
 		for _, f := range []float64{0.999, 0.99} {
 			for _, g := range []core.GrowthKind{core.GrowthLinear, core.GrowthLog} {
 				app := core.AppParams{Name: "class", F: f, FCon: panel.fcon, FOred: panel.ford, Growth: g}
-				pts := core.SweepSymmetric(app, b, rs)
+				pts, err := core.SweepSymmetricEngine(ctx, opt.Engine, app, b, rs)
+				if err != nil {
+					return nil, err
+				}
 				row := []string{fmt.Sprintf("f=%.3f %s", f, g)}
 				var xs, ys []float64
 				for _, p := range pts {
@@ -230,7 +245,7 @@ var fig5Panels = []struct {
 
 // Fig5 sweeps the asymmetric design space: large-core size rl on the
 // x-axis, one series per small-core size r ∈ {1, 4, 16}.
-func Fig5(Options) (*report.Document, error) {
+func Fig5(ctx context.Context, opt Options) (*report.Document, error) {
 	doc := &report.Document{ID: "fig5", Title: "Scalability on asymmetric CMPs"}
 	b := core.DefaultBudget
 	rls := core.PowerOfTwoRs(b.N)
@@ -239,7 +254,10 @@ func Fig5(Options) (*report.Document, error) {
 		ch := doc.AddChart("Fig 5"+panel.title, "rl (BCEs of large core)", "speedup", true)
 		app := core.AppParams{Name: "class", F: panel.f, FCon: panel.fcon, FOred: panel.ford, Growth: core.GrowthLinear}
 		for _, r := range []float64{1, 4, 16} {
-			pts := core.SweepAsymmetric(app, b, rls, r)
+			pts, err := core.SweepAsymmetricEngine(ctx, opt.Engine, app, b, rls, r)
+			if err != nil {
+				return nil, err
+			}
 			row := []string{fmt.Sprintf("r=%g", r)}
 			i := 0
 			var xs, ys []float64
@@ -268,7 +286,7 @@ func Fig5(Options) (*report.Document, error) {
 
 // Fig6 renders the reduction-fraction decomposition (a diagram in the
 // paper) as a table for the Table II applications.
-func Fig6(Options) (*report.Document, error) {
+func Fig6(_ context.Context, _ Options) (*report.Document, error) {
 	doc := &report.Document{ID: "fig6", Title: "Reduction fraction split-up"}
 	t := doc.AddTable("Fig 6 — serial fraction decomposition (shares of serial time)",
 		"Application", "fcon", "fred", "fcred = fred·(1-fored)", "fored share = fred·fored", "fcomp = fred/2", "fcomm = fred/2")
@@ -289,7 +307,7 @@ func Fig6(Options) (*report.Document, error) {
 // Fig7 evaluates the communication-aware model on the non-embarrassingly
 // parallel, moderate-constant class with a parallel reduction over a 2D
 // mesh.
-func Fig7(Options) (*report.Document, error) {
+func Fig7(ctx context.Context, opt Options) (*report.Document, error) {
 	doc := &report.Document{ID: "fig7", Title: "Scalability with communication-aware model"}
 	b := core.DefaultBudget
 	app := core.AppParams{Name: "non-emb-moderate", F: 0.99, FCon: 0.60, Growth: core.GrowthNone}
@@ -297,7 +315,10 @@ func Fig7(Options) (*report.Document, error) {
 
 	rs := core.PowerOfTwoRs(b.N)
 	t := doc.AddTable("Fig 7(a) — symmetric CMPs", append([]string{"series"}, floatHeaders(rs)...)...)
-	pts := core.SweepSymmetricComm(m, b, rs)
+	pts, err := core.SweepSymmetricCommEngine(ctx, opt.Engine, m, b, rs)
+	if err != nil {
+		return nil, err
+	}
 	row := []string{"mesh/parallel-reduction"}
 	ch := doc.AddChart("Fig 7(a) — symmetric", "r", "speedup", true)
 	var xs, ys []float64
@@ -316,7 +337,10 @@ func Fig7(Options) (*report.Document, error) {
 	ch2 := doc.AddChart("Fig 7(b) — asymmetric", "rl", "speedup", true)
 	bestAll := core.SweepPoint{}
 	for _, r := range []float64{1, 4, 16} {
-		apts := core.SweepAsymmetricComm(m, b, rs, r)
+		apts, err := core.SweepAsymmetricCommEngine(ctx, opt.Engine, m, b, rs, r)
+		if err != nil {
+			return nil, err
+		}
 		arow := []string{fmt.Sprintf("r=%g", r)}
 		i := 0
 		var axs, ays []float64

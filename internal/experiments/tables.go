@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mergescale/internal/core"
@@ -15,7 +16,7 @@ import (
 )
 
 // Table1 renders the simulated baseline configuration (Table I).
-func Table1(opt Options) (*report.Document, error) {
+func Table1(_ context.Context, opt Options) (*report.Document, error) {
 	doc := &report.Document{ID: "table1", Title: "Baseline configuration"}
 	cfg := sim.DefaultConfig(16)
 	t := doc.AddTable("Table I — baseline configuration (simulator substitute for SESC)", "Parameter", "Value", "Paper (Table I)")
@@ -56,12 +57,15 @@ func measureApp(w workload.Workload, opt Options) (core.AppParams, []*trace.Prof
 }
 
 // Table2 regenerates the application-parameter table from simulation.
-func Table2(opt Options) (*report.Document, error) {
+func Table2(ctx context.Context, opt Options) (*report.Document, error) {
 	doc := &report.Document{ID: "table2", Title: "Application parameters (measured on the simulator)"}
 	t := doc.AddTable("Table II — application parameters",
 		"Application", "serial(%)", "fored(%)", "fred(%)", "fcon(%)", "f",
 		"paper serial(%)", "paper fored(%)", "paper fred(%)", "paper fcon(%)", "paper f")
 	for _, w := range workloadSet(opt) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ap, _, err := measureApp(w, opt)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name(), err)
@@ -85,7 +89,7 @@ func Table2(opt Options) (*report.Document, error) {
 }
 
 // Table3 renders the eight synthetic application classes.
-func Table3(Options) (*report.Document, error) {
+func Table3(_ context.Context, _ Options) (*report.Document, error) {
 	doc := &report.Document{ID: "table3", Title: "Application classes and parameters"}
 	t := doc.AddTable("Table III — application classes",
 		"parallelism", "constant", "reduction", "f", "fcon(%)", "fored(%)")
@@ -99,7 +103,7 @@ func Table3(Options) (*report.Document, error) {
 }
 
 // Table4 regenerates the data-set sensitivity study from native runs.
-func Table4(opt Options) (*report.Document, error) {
+func Table4(ctx context.Context, opt Options) (*report.Document, error) {
 	doc := &report.Document{ID: "table4", Title: "Dataset sensitivity (native runs, operation counts)"}
 	t := doc.AddTable("Table IV — dataset sensitivity",
 		"Data Label", "Attributes", "f", "fred(%)", "fcon(%)", "paper f", "paper fred(%)", "paper fcon(%)")
@@ -125,6 +129,9 @@ func Table4(opt Options) (*report.Document, error) {
 		iters = 2
 	}
 	run := func(label string, mk func() workload.Workload, spec datagen.Spec) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if opt.Quick {
 			spec.N /= 8
 			if spec.N < 1024 {

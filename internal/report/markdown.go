@@ -1,0 +1,99 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Markdown writes the document as GitHub-flavored markdown: a heading per
+// document, pipe tables, ASCII charts inside fenced code blocks, and notes
+// as a bullet list. EXPERIMENTS.md and the golden tests consume this form.
+func (d *Document) Markdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s: %s\n\n", escapeMarkdown(d.ID), escapeMarkdown(d.Title)); err != nil {
+		return err
+	}
+	for _, t := range d.Tables {
+		if err := t.Markdown(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, c := range d.Charts {
+		if _, err := fmt.Fprintln(w, "```"); err != nil {
+			return err
+		}
+		if err := c.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, "```"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, n := range d.Notes {
+		if _, err := fmt.Fprintf(w, "- %s\n", escapeMarkdown(n)); err != nil {
+			return err
+		}
+	}
+	if len(d.Notes) > 0 {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Markdown writes the table as a GFM pipe table preceded by its title in
+// bold.
+func (t *Table) Markdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", escapeMarkdown(t.Title)); err != nil {
+			return err
+		}
+	}
+	row := func(cells []string) error {
+		out := make([]string, len(t.Columns))
+		for i := range t.Columns {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			out[i] = escapeCell(cell)
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(out, " | "))
+		return err
+	}
+	if err := row(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// escapeCell protects the pipe-table structure from cell content.
+func escapeCell(s string) string {
+	s = strings.ReplaceAll(s, "|", `\|`)
+	return strings.ReplaceAll(s, "\n", "<br>")
+}
+
+// escapeMarkdown neutralizes characters that would change block structure
+// in free-form text (titles and notes keep their inline content literal).
+func escapeMarkdown(s string) string {
+	return strings.ReplaceAll(s, "\n", " ")
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package mergescale_test
+
+// raceEnabled reports that this binary was built with -race, whose
+// serialization makes wall-clock speedup assertions meaningless.
+const raceEnabled = true

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# CI gate: formatting, vet, race-enabled tests, and a one-iteration bench
+# pass so bench_test.go cannot rot. Run from the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== go test -bench (1 iteration) =="
+go test -bench=. -benchtime=1x -run '^$' .
+
+echo "CI OK"
