@@ -3,15 +3,19 @@
 // Usage:
 //
 //	mergescale -list
-//	mergescale [-quick] [-csv] [-duration] [-workers N] [-nocache] [-stats] run <experiment-id>|all
+//	mergescale [-quick] [-csv] [-duration] [-workers N] [-cachedir DIR] [-nocache] [-stats] run <experiment-id>|all
 //
 // Experiment ids follow the paper's artifact numbering (table1..table4,
 // fig2a..fig7) plus the abl-* ablations; see DESIGN.md for the index.
 //
 // Experiments execute concurrently on the engine worker pool (one job per
-// artifact; design-space sweeps shard into sub-jobs), but the output is
-// always printed in registry order, so a parallel run is byte-identical
-// to -workers 1.
+// artifact; design-space sweeps and per-core simulator runs shard into
+// sub-jobs), but the output is always printed in registry order, so a
+// parallel run is byte-identical to -workers 1.
+//
+// With -cachedir, results persist across processes: a second run against a
+// warm cache directory replays every artifact from disk without running a
+// single simulation. Wall-clock (-duration) results are never cached.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"os/signal"
 
 	"mergescale/internal/engine"
+	"mergescale/internal/engine/diskcache"
 	"mergescale/internal/experiments"
 )
 
@@ -42,11 +47,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		csv      = fs.Bool("csv", false, "emit CSV instead of formatted tables")
 		duration = fs.Bool("duration", false, "base native experiments on wall time instead of op counts")
 		workers  = fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial)")
-		nocache  = fs.Bool("nocache", false, "disable the engine result cache")
+		cachedir = fs.String("cachedir", "", "persist engine results to this directory across runs")
+		nocache  = fs.Bool("nocache", false, "disable the engine result cache (memory and disk)")
 		stats    = fs.Bool("stats", false, "print engine cache/worker statistics to stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mergescale [-quick] [-csv] [-duration] [-workers N] [-nocache] [-stats] run <id>|all\n       mergescale -list\n")
+		fmt.Fprintf(stderr, "usage: mergescale [-quick] [-csv] [-duration] [-workers N] [-cachedir DIR] [-nocache] [-stats] run <id>|all\n       mergescale -list\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -86,7 +92,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	eng := engine.New(engine.Config{Workers: *workers, DisableCache: *nocache})
+	cfg := engine.Config{Workers: *workers, DisableCache: *nocache}
+	var store *diskcache.Store
+	if *cachedir != "" && !*nocache {
+		s, err := diskcache.Open(*cachedir, diskcache.Options{})
+		if err != nil {
+			// The cache is best-effort: degrade to a cold run.
+			fmt.Fprintf(stderr, "mergescale: disk cache disabled: %v\n", err)
+		} else {
+			store = s
+			cfg.Store = s
+		}
+	}
+	eng := engine.New(cfg)
 	for _, o := range experiments.RunAll(ctx, eng, targets, opt) {
 		if o.Err != nil {
 			fmt.Fprintf(stderr, "%s: %v\n", o.ID, o.Err)
@@ -105,9 +123,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 	}
 	if *stats {
-		st := eng.Stats()
-		fmt.Fprintf(stderr, "engine: %d workers, %d executed (%d inline), cache %d hits / %d misses\n",
-			eng.Workers(), st.Executed, st.Inline, st.Hits, st.Misses)
+		printStats(stderr, eng, store)
 	}
 	return 0
+}
+
+// printStats reports memory-cache and disk-cache traffic separately, so
+// "the second run was fast" is inspectable: a warm disk run shows zero
+// executed jobs and only disk hits.
+func printStats(stderr io.Writer, eng *engine.Engine, store *diskcache.Store) {
+	st := eng.Stats()
+	fmt.Fprintf(stderr, "engine: %d workers, %d executed (%d inline), memory cache %d hits / %d misses\n",
+		eng.Workers(), st.Executed, st.Inline, st.Hits, st.Misses)
+	if store == nil {
+		return
+	}
+	ds := store.Stats()
+	entries, bytes := store.Size()
+	fmt.Fprintf(stderr, "disk: %d hits / %d misses, %d writes (%d skipped), %d evictions, %d dropped, %d entries / %d bytes in %s\n",
+		st.StoreHits, st.StoreMisses, ds.Puts, ds.PutSkips, ds.Evictions, ds.Dropped, entries, bytes, store.Dir())
 }

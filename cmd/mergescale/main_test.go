@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"mergescale/internal/sim"
 )
 
 // TestHelp exercises the usage path (-h equivalent: bad args).
@@ -65,6 +67,52 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
 		t.Fatal("-workers 8 output differs from -workers 1")
+	}
+}
+
+// TestWarmDiskCacheRunAll is the headline acceptance check for the
+// persistent cache: a second `run all` against a warm -cachedir must
+// perform zero simulator machine runs, execute zero job functions, and
+// render byte-identical output.
+func TestWarmDiskCacheRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	var cold, warm, errOut bytes.Buffer
+	if code := run([]string{"-quick", "-cachedir", dir, "run", "all"}, &cold, &errOut); code != 0 {
+		t.Fatalf("cold run failed: %s", errOut.String())
+	}
+
+	before := sim.Runs()
+	errOut.Reset()
+	if code := run([]string{"-quick", "-cachedir", dir, "-stats", "run", "all"}, &warm, &errOut); code != 0 {
+		t.Fatalf("warm run failed: %s", errOut.String())
+	}
+	if ran := sim.Runs() - before; ran != 0 {
+		t.Errorf("warm run performed %d simulator machine runs, want 0", ran)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Error("warm output differs from cold output")
+	}
+	stats := errOut.String()
+	if !strings.Contains(stats, "0 executed") {
+		t.Errorf("warm -stats should report 0 executed jobs:\n%s", stats)
+	}
+	if !strings.Contains(stats, "disk:") || strings.Contains(stats, "disk: 0 hits") {
+		t.Errorf("warm -stats should report disk hits:\n%s", stats)
+	}
+}
+
+// TestNocacheDisablesDisk: -nocache must keep the cache directory cold.
+func TestNocacheDisablesDisk(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-quick", "-cachedir", dir, "-nocache", "-stats", "run", "table3"}, &out, &errOut); code != 0 {
+		t.Fatalf("run failed: %s", errOut.String())
+	}
+	if strings.Contains(errOut.String(), "disk:") {
+		t.Errorf("-nocache run still reported disk stats:\n%s", errOut.String())
 	}
 }
 

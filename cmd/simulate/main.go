@@ -3,16 +3,24 @@
 //
 // Usage:
 //
-//	simulate -workload kmeans -cores 16 [-scale 4] [-iters 10]
+//	simulate -workload kmeans -cores 16 [-scale 4] [-iters 10] [-cachedir DIR] [-nocache] [-stats]
+//
+// The run goes through the experiment engine, so with -cachedir it shares
+// the persistent result cache with cmd/mergescale: a configuration that
+// either command has simulated before is replayed from disk instead of
+// re-simulated.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"mergescale/internal/engine"
+	"mergescale/internal/engine/diskcache"
 	"mergescale/internal/sim"
 	"mergescale/internal/workload"
 	"mergescale/internal/workload/datagen"
@@ -31,10 +39,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		name  = fs.String("workload", "kmeans", "workload: kmeans | fuzzy | hop")
-		cores = fs.Int("cores", 16, "simulated core count (1..64)")
-		scale = fs.Int("scale", 4, "divide the data-set point count by this factor")
-		iters = fs.Int("iters", 10, "clustering iterations (kmeans/fuzzy)")
+		name     = fs.String("workload", "kmeans", "workload: kmeans | fuzzy | hop")
+		cores    = fs.Int("cores", 16, "simulated core count (1..64)")
+		scale    = fs.Int("scale", 4, "divide the data-set point count by this factor")
+		iters    = fs.Int("iters", 10, "clustering iterations (kmeans/fuzzy)")
+		cachedir = fs.String("cachedir", "", "persist simulation results to this directory across runs")
+		nocache  = fs.Bool("nocache", false, "disable the result cache (memory and disk)")
+		stats    = fs.Bool("stats", false, "print cache statistics to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,21 +81,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	prog, err := w.BuildProgram(ds, cfg, *scale)
+
+	engCfg := engine.Config{Workers: 1, DisableCache: *nocache}
+	var store *diskcache.Store
+	if *cachedir != "" && !*nocache {
+		s, err := diskcache.Open(*cachedir, diskcache.Options{})
+		if err != nil {
+			fmt.Fprintf(stderr, "simulate: disk cache disabled: %v\n", err)
+		} else {
+			store = s
+			engCfg.Store = s
+		}
+	}
+	eng := engine.New(engCfg)
+
+	runs, err := workload.SimRunsEngine(context.Background(), eng, w, ds, []sim.Config{cfg}, *scale)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	m, err := sim.NewMachine(cfg)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
-	res, err := m.Run(prog)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
+	res := runs[0]
 
 	fmt.Fprintf(stdout, "workload  %s  (data %s, scale 1/%d)\n", w.Name(), ds.Spec.Label, *scale)
 	fmt.Fprintf(stdout, "machine   %d cores, L1 %dK/%d-way, L2 %dM/%d-way, MESI, 2D mesh\n",
@@ -99,5 +115,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "          L1 hits %d / misses %d, L2 hits %d / misses %d\n", c.L1Hits, c.L1Misses, c.L2Hits, c.L2Misses)
 	fmt.Fprintf(stdout, "coherence c2c transfers %d, invalidations %d, writebacks %d\n", c.C2CTransfers, c.Invalidations, c.WriteBacks)
 	fmt.Fprintf(stdout, "sync      %d barriers\n", c.Barriers)
+	if *stats {
+		st := eng.Stats()
+		fmt.Fprintf(stderr, "engine: %d executed, memory cache %d hits / %d misses\n", st.Executed, st.Hits, st.Misses)
+		if store != nil {
+			dst := store.Stats()
+			fmt.Fprintf(stderr, "disk: %d hits / %d misses, %d writes, %d evictions, %d dropped\n",
+				st.StoreHits, st.StoreMisses, dst.Puts, dst.Evictions, dst.Dropped)
+		}
+	}
 	return 0
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"mergescale/internal/sim"
 )
 
 func TestHelp(t *testing.T) {
@@ -35,6 +37,31 @@ func TestQuickWorkload(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestWarmDiskCache runs the same configuration twice against one cache
+// directory: the second run must replay from disk — zero machine runs —
+// and print byte-identical output.
+func TestWarmDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-workload", "kmeans", "-cores", "4", "-scale", "64", "-iters", "1", "-cachedir", dir, "-stats"}
+	var cold, warm, coldErr, warmErr bytes.Buffer
+	if code := run(args, &cold, &coldErr); code != 0 {
+		t.Fatalf("cold run failed: %s", coldErr.String())
+	}
+	before := sim.Runs()
+	if code := run(args, &warm, &warmErr); code != 0 {
+		t.Fatalf("warm run failed: %s", warmErr.String())
+	}
+	if ran := sim.Runs() - before; ran != 0 {
+		t.Errorf("warm run performed %d machine runs, want 0", ran)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Errorf("warm output differs from cold:\n%s\nvs\n%s", warm.String(), cold.String())
+	}
+	if !strings.Contains(warmErr.String(), "disk: 1 hits") {
+		t.Errorf("warm -stats should report one disk hit:\n%s", warmErr.String())
 	}
 }
 

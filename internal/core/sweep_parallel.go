@@ -2,9 +2,17 @@ package core
 
 import (
 	"context"
+	"encoding/gob"
 
 	"mergescale/internal/engine"
 )
+
+func init() {
+	// Sweep evaluations cross the engine's persistent store inside gob
+	// envelopes; the type is unexported but gob only needs a stable
+	// registered name, and both sides of the cache are this package.
+	gob.Register(sweepEval{})
+}
 
 // This file contains the engine-backed forms of the design-space sweeps:
 // each grid point becomes one engine sub-job, so a sweep sharded from

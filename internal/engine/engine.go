@@ -1,21 +1,3 @@
-// Package engine is the concurrent experiment runtime: a bounded worker
-// pool that executes heterogeneous jobs (paper artifacts, design-space
-// sweep points, simulator runs) with per-job context cancellation, a
-// config-hash result cache, and deterministic output ordering.
-//
-// The engine is deliberately independent of the model and workload
-// packages so that any layer — cmd/mergescale submitting whole
-// experiments, internal/core sharding a sweep into per-point sub-jobs —
-// can fan out through the same pool. Nested submission is safe: when every
-// worker slot is busy (e.g. a sweep sharded from inside an experiment
-// job), Run executes the job inline on the calling goroutine instead of
-// queueing, so a job waiting for its sub-jobs can never deadlock the pool.
-//
-// Determinism contract: Run returns results in submission order no matter
-// which worker finishes first, and the cache returns the identical value
-// computed by the first submitter of a key. A parallel run therefore
-// yields a byte-identical result set to a serial run of the same jobs,
-// provided the job functions themselves are deterministic.
 package engine
 
 import (
@@ -33,8 +15,24 @@ type Config struct {
 	// Workers bounds concurrent job execution; <= 0 selects
 	// runtime.GOMAXPROCS(0).
 	Workers int
-	// DisableCache turns the result cache off (every job computes).
+	// DisableCache turns the result cache off (every job computes). It
+	// disables the persistent Store as well.
 	DisableCache bool
+	// Store, when non-nil, is a second-level persistent result cache
+	// (e.g. a diskcache.Store). It is consulted on memory-cache misses
+	// and filled after successful computations; errored or cancelled jobs
+	// are never persisted.
+	Store Store
+}
+
+// Store is an optional persistent result cache layered under the in-memory
+// singleflight cache. Implementations must be safe for concurrent use and
+// strictly best-effort: Get returns (nil, false) for any entry it cannot
+// produce (absent, corrupt, stale), and Put failures must be silent — a
+// Store can make the engine faster, never broken.
+type Store interface {
+	Get(key string) (val any, ok bool)
+	Put(key string, val any)
 }
 
 // Job is one unit of work.
@@ -60,10 +58,12 @@ type Result struct {
 
 // Stats counts cache traffic and execution modes since engine creation.
 type Stats struct {
-	Hits     uint64 // jobs satisfied by a cached or in-flight computation
-	Misses   uint64 // cacheable jobs that had to compute
-	Executed uint64 // job functions actually invoked
-	Inline   uint64 // jobs run on the submitting goroutine (pool saturated)
+	Hits        uint64 // jobs satisfied by a cached or in-flight computation (memory)
+	Misses      uint64 // cacheable jobs that missed the memory cache
+	Executed    uint64 // job functions actually invoked
+	Inline      uint64 // jobs run on the submitting goroutine (pool saturated)
+	StoreHits   uint64 // memory misses satisfied by the persistent store
+	StoreMisses uint64 // store lookups that fell through to computation
 }
 
 // Engine is a reusable bounded-concurrency job runner. The zero value is
@@ -72,14 +72,17 @@ type Engine struct {
 	workers int
 	sem     chan struct{}
 	noCache bool
+	store   Store
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
 
-	hits     atomic.Uint64
-	misses   atomic.Uint64
-	executed atomic.Uint64
-	inline   atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	executed    atomic.Uint64
+	inline      atomic.Uint64
+	storeHits   atomic.Uint64
+	storeMisses atomic.Uint64
 }
 
 // cacheEntry is a singleflight slot: done closes once val/err are set.
@@ -99,12 +102,16 @@ func New(cfg Config) *Engine {
 	// executes jobs inline whenever no pool slot is free), so only w-1
 	// extra goroutines may run at once. Workers=1 is therefore fully
 	// serial on the calling goroutine.
-	return &Engine{
+	e := &Engine{
 		workers: w,
 		sem:     make(chan struct{}, w-1),
 		noCache: cfg.DisableCache,
 		cache:   map[string]*cacheEntry{},
 	}
+	if !cfg.DisableCache {
+		e.store = cfg.Store
+	}
+	return e
 }
 
 // Workers returns the concurrency bound.
@@ -113,10 +120,12 @@ func (e *Engine) Workers() int { return e.workers }
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Hits:     e.hits.Load(),
-		Misses:   e.misses.Load(),
-		Executed: e.executed.Load(),
-		Inline:   e.inline.Load(),
+		Hits:        e.hits.Load(),
+		Misses:      e.misses.Load(),
+		Executed:    e.executed.Load(),
+		Inline:      e.inline.Load(),
+		StoreHits:   e.storeHits.Load(),
+		StoreMisses: e.storeMisses.Load(),
 	}
 }
 
@@ -172,6 +181,16 @@ func (e *Engine) exec(ctx context.Context, job Job) Result {
 			e.mu.Unlock()
 			e.misses.Add(1)
 
+			if e.store != nil {
+				if v, ok := e.store.Get(job.Key); ok {
+					e.storeHits.Add(1)
+					entry.val = v
+					close(entry.done)
+					return Result{ID: job.ID, Value: v, Cached: true}
+				}
+				e.storeMisses.Add(1)
+			}
+
 			entry.val, entry.err = e.invoke(ctx, job)
 			if isCancellation(entry.err) {
 				// Do not poison the cache with a cancellation: drop the
@@ -182,6 +201,11 @@ func (e *Engine) exec(ctx context.Context, job Job) Result {
 					delete(e.cache, job.Key)
 				}
 				e.mu.Unlock()
+			} else if entry.err == nil && e.store != nil {
+				// Persist only clean successes: errors may be transient and
+				// cancelled jobs must never reach the disk (the -duration
+				// rule and the memory cache's eviction both rely on it).
+				e.store.Put(job.Key, entry.val)
 			}
 			close(entry.done)
 			return Result{ID: job.ID, Value: entry.val, Err: entry.err}

@@ -1,0 +1,37 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+
+	"mergescale/internal/engine"
+)
+
+// ExampleEngine_Run runs three jobs through the engine. Results come back
+// in submission order, and the two jobs sharing a cache key are computed
+// once. (Workers: 1 keeps the cached-flag assignment deterministic for
+// the example; with more workers, which duplicate computes first is a
+// scheduling race — only the value is guaranteed.)
+func ExampleEngine_Run() {
+	eng := engine.New(engine.Config{Workers: 1})
+	square := func(n int) engine.Job {
+		return engine.Job{
+			ID:  fmt.Sprintf("square(%d)", n),
+			Key: engine.Key("square", n),
+			Fn: func(context.Context) (any, error) {
+				return n * n, nil
+			},
+		}
+	}
+	results := eng.Run(context.Background(), []engine.Job{square(3), square(4), square(3)})
+	for _, r := range results {
+		fmt.Printf("%s = %v (cached %v)\n", r.ID, r.Value, r.Cached)
+	}
+	st := eng.Stats()
+	fmt.Printf("executed %d of %d jobs\n", st.Executed, len(results))
+	// Output:
+	// square(3) = 9 (cached false)
+	// square(4) = 16 (cached false)
+	// square(3) = 9 (cached true)
+	// executed 2 of 3 jobs
+}

@@ -1,0 +1,23 @@
+// Package experiments contains one regenerator per table and figure of the
+// paper (plus ablation studies beyond it). Each experiment produces a
+// report.Document with the same rows/series the paper reports, alongside
+// the paper's published values where the text states them, so
+// EXPERIMENTS.md can record paper-vs-measured for every artifact.
+//
+// Experiments run through the engine: RunAll submits one job per artifact,
+// and experiments shard their internal work — design-space sweep points
+// (internal/core) and per-core-count simulator runs (internal/workload) —
+// into sub-jobs on the same engine via Options.Engine. The engine executes
+// sub-jobs inline when its pool is saturated, so nested submission never
+// deadlocks.
+//
+// Caching rules. Every experiment job is keyed by cacheKey: the artifact
+// id plus each Options field that changes output. Options.Engine is
+// deliberately excluded — it affects scheduling, never results. Experiments
+// marked Timing produce wall-clock-dependent output under
+// Options.UseDuration and get an empty key in that mode, so -duration
+// results are never cached, in memory or on disk. Each Run constructs all
+// of its own state per invocation (data sets, workloads, simulator
+// machines — sim.Machine is single-use), which is what makes its result a
+// pure function of the cache key.
+package experiments

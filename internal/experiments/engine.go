@@ -40,7 +40,7 @@ func RunAll(ctx context.Context, eng *engine.Engine, targets []Experiment, opt O
 		e := e
 		jobs[i] = engine.Job{
 			ID:  e.ID,
-			Key: cacheKey(e.ID, opt),
+			Key: cacheKey(e, opt),
 			Fn: func(ctx context.Context) (any, error) {
 				return e.Run(ctx, opt)
 			},

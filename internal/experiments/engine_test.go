@@ -74,15 +74,30 @@ func TestRunAllCacheReplay(t *testing.T) {
 	}
 
 	// Different options must NOT hit the quick-mode cache entries.
-	if k1, k2 := cacheKey("fig4", quick), cacheKey("fig4", Options{}); k1 == k2 {
+	fig4, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1, k2 := cacheKey(fig4, quick), cacheKey(fig4, Options{}); k1 == k2 {
 		t.Error("cache key ignores Options differences")
 	}
 	// The engine pointer must not influence the key (it is scheduling
 	// state, not configuration).
 	withEng := quick
 	withEng.Engine = eng
-	if cacheKey("fig4", quick) != cacheKey("fig4", withEng) {
+	if cacheKey(fig4, quick) != cacheKey(fig4, withEng) {
 		t.Error("cache key depends on the engine pointer")
+	}
+	// Timing-sensitive experiments on wall clock are uncacheable.
+	fig2c, err := ByID("fig2c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := cacheKey(fig2c, Options{UseDuration: true}); k != "" {
+		t.Errorf("fig2c with -duration got cache key %q, want uncacheable", k)
+	}
+	if k := cacheKey(fig2c, Options{}); k == "" {
+		t.Error("fig2c without -duration should be cacheable")
 	}
 }
 

@@ -1,23 +1,28 @@
-// Package experiments contains one regenerator per table and figure of the
-// paper (plus ablation studies beyond it). Each experiment produces a
-// report.Document with the same rows/series the paper reports, alongside
-// the paper's published values where the text states them, so
-// EXPERIMENTS.md can record paper-vs-measured for every artifact.
 package experiments
 
 import (
 	"context"
+	"encoding/gob"
 	"fmt"
 	"sort"
 
+	"mergescale/internal/core"
 	"mergescale/internal/engine"
 	"mergescale/internal/report"
+	"mergescale/internal/sim"
 	"mergescale/internal/workload"
 	"mergescale/internal/workload/datagen"
 	"mergescale/internal/workload/fuzzy"
 	"mergescale/internal/workload/hop"
 	"mergescale/internal/workload/kmeans"
 )
+
+func init() {
+	// Experiment outcomes cross the engine's persistent store inside gob
+	// envelopes; register the concrete document type so other processes
+	// can decode the interface-typed envelope field.
+	gob.Register(&report.Document{})
+}
 
 // Options tunes experiment cost.
 type Options struct {
@@ -34,17 +39,42 @@ type Options struct {
 }
 
 // cacheKey hashes an experiment id plus every Options field that changes
-// its output. The Engine pointer only affects scheduling, never results
-// (asserted by TestRunAllMatchesSerial), so it is deliberately excluded.
-func cacheKey(id string, opt Options) string {
-	return engine.Key("experiment", id, opt.Quick, opt.UseDuration)
+// its output, plus a fingerprint of the model/simulator/workload constants
+// the suite is built from. The Engine pointer only affects scheduling,
+// never results (asserted by TestRunAllMatchesSerial), so it is
+// deliberately excluded. Timing-sensitive experiments running on wall
+// clock (-duration) return an empty key: their output is nondeterministic,
+// so it must never be cached — neither in memory nor on disk.
+func cacheKey(e Experiment, opt Options) string {
+	if e.Timing && opt.UseDuration {
+		return ""
+	}
+	return engine.Key("experiment", e.ID, opt.Quick, opt.UseDuration, configFingerprint(opt))
+}
+
+// configFingerprint digests the tunable constants experiment documents are
+// derived from — the Table I machine config, the BCE budget, and each
+// workload's identity, parameters and data-set spec — so editing any of
+// them invalidates warm disk-cache entries instead of replaying stale
+// documents. Code changes beyond these constants still require a
+// diskcache envelopeVersion bump (see docs/ARCHITECTURE.md).
+func configFingerprint(opt Options) string {
+	parts := []any{sim.DefaultConfig(16), core.DefaultBudget}
+	for _, w := range workloadSet(opt) {
+		parts = append(parts, w.Name(), w.Params(), w.DefaultSpec())
+	}
+	return engine.Key(parts...)
 }
 
 // Experiment is one regenerable artifact.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(context.Context, Options) (*report.Document, error)
+	// Timing marks experiments whose output depends on wall-clock
+	// measurement when Options.UseDuration is set; their results are
+	// uncacheable in that mode (see cacheKey).
+	Timing bool
+	Run    func(context.Context, Options) (*report.Document, error)
 }
 
 // Registry returns all experiments in paper order.
@@ -56,7 +86,7 @@ func Registry() []Experiment {
 		{ID: "table4", Title: "Table IV: dataset sensitivity", Run: Table4},
 		{ID: "fig2a", Title: "Fig 2(a): application scalability (simulation)", Run: Fig2a},
 		{ID: "fig2b", Title: "Fig 2(b): serial section growth (simulation)", Run: Fig2b},
-		{ID: "fig2c", Title: "Fig 2(c): serial behavior validation (native)", Run: Fig2c},
+		{ID: "fig2c", Title: "Fig 2(c): serial behavior validation (native)", Timing: true, Run: Fig2c},
 		{ID: "fig2d", Title: "Fig 2(d): model accuracy", Run: Fig2d},
 		{ID: "fig3", Title: "Fig 3: scalability prediction, Amdahl vs extended", Run: Fig3},
 		{ID: "fig4", Title: "Fig 4: symmetric CMP design space", Run: Fig4},

@@ -25,7 +25,7 @@ func Fig2a(ctx context.Context, opt Options) (*report.Document, error) {
 		if err != nil {
 			return nil, err
 		}
-		sp, err := workload.SimSpeedupCurve(w, ds, cores, simScale(opt))
+		sp, err := workload.SimSpeedupCurveEngine(ctx, opt.Engine, w, ds, cores, simScale(opt))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name(), err)
 		}
@@ -68,7 +68,7 @@ func serialGrowthDoc(ctx context.Context, id, title string, opt Options, native 
 		if native {
 			profiles, err = workload.NativeProfiles(w, ds, grid, opt.UseDuration)
 		} else {
-			profiles, err = workload.SimProfiles(w, ds, grid, simScale(opt))
+			profiles, err = workload.SimProfilesEngine(ctx, opt.Engine, w, ds, grid, simScale(opt))
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name(), err)
@@ -117,7 +117,7 @@ func Fig2d(ctx context.Context, opt Options) (*report.Document, error) {
 		if err != nil {
 			return nil, err
 		}
-		profiles, err := workload.SimProfiles(w, ds, grid, simScale(opt))
+		profiles, err := workload.SimProfilesEngine(ctx, opt.Engine, w, ds, grid, simScale(opt))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name(), err)
 		}

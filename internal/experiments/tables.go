@@ -41,14 +41,15 @@ var paperTableII = map[string]struct {
 	"hop":    {0.100, 0.0003, 155, 12, 88, 0.999},
 }
 
-// measureApp runs a workload on the simulator across the core grid and
-// extracts model parameters.
-func measureApp(w workload.Workload, opt Options) (core.AppParams, []*trace.Profile, error) {
+// measureApp runs a workload on the simulator across the core grid (one
+// engine job per core count when opt.Engine is set) and extracts model
+// parameters.
+func measureApp(ctx context.Context, w workload.Workload, opt Options) (core.AppParams, []*trace.Profile, error) {
 	ds, err := datasetFor(w, opt)
 	if err != nil {
 		return core.AppParams{}, nil, err
 	}
-	profiles, err := workload.SimProfiles(w, ds, simCoreCounts(opt), simScale(opt))
+	profiles, err := workload.SimProfilesEngine(ctx, opt.Engine, w, ds, simCoreCounts(opt), simScale(opt))
 	if err != nil {
 		return core.AppParams{}, nil, err
 	}
@@ -66,7 +67,7 @@ func Table2(ctx context.Context, opt Options) (*report.Document, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ap, _, err := measureApp(w, opt)
+		ap, _, err := measureApp(ctx, w, opt)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name(), err)
 		}

@@ -1,12 +1,3 @@
-// Package reduction implements the three merging-phase strategies the paper
-// analyzes — serial (linear), tree (logarithmic), and parallel privatized —
-// together with operation/communication cost accounting that feeds the
-// analytical model of Section V-E.
-//
-// Each strategy combines t per-thread partial-result vectors of x elements
-// into a single result vector. The strategies are numerically equivalent up
-// to floating-point reassociation; the property tests check exact equality
-// on integral inputs where addition is associative.
 package reduction
 
 import (

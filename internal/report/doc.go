@@ -1,0 +1,11 @@
+// Package report renders experiment output as ASCII tables, CSV, markdown,
+// and simple ASCII line charts, so every table and figure of the paper can
+// be regenerated on a terminal without plotting dependencies.
+//
+// Document is the unit of experiment output: any number of tables and
+// charts plus free-form notes. Documents are plain exported data — no
+// pointers to live state, no maps — so they render deterministically, can
+// be compared byte-for-byte across runs, and survive a gob round trip
+// through the engine's persistent disk cache unchanged (the experiments
+// package registers *Document with encoding/gob for exactly that path).
+package report

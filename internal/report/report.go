@@ -1,6 +1,3 @@
-// Package report renders experiment output as ASCII tables, CSV, and
-// simple ASCII line charts, so every table and figure of the paper can be
-// regenerated on a terminal without plotting dependencies.
 package report
 
 import (

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"mergescale/internal/topology"
 )
@@ -105,12 +106,21 @@ type coreState struct {
 	blocked bool
 }
 
+// runCount tallies Machine.Run invocations process-wide; see Runs.
+var runCount atomic.Uint64
+
+// Runs reports how many Machine.Run calls started in this process — a
+// hook for tests and cache statistics asserting that warm-cache runs
+// perform no simulation at all.
+func Runs() uint64 { return runCount.Load() }
+
 // Run executes the program to completion and returns per-phase timing.
 func (m *Machine) Run(prog *Program) (Result, error) {
 	if m.ran {
 		return Result{}, errors.New("sim: Machine is single-use; create a new one per run")
 	}
 	m.ran = true
+	runCount.Add(1)
 	if err := prog.Validate(); err != nil {
 		return Result{}, err
 	}

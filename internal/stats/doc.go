@@ -1,0 +1,11 @@
+// Package stats provides the small set of numeric helpers used by the
+// mergescale model, simulator and experiment harness: means, linear
+// regression, coefficient of determination, and deterministic pseudo-random
+// sequences for workload generation.
+//
+// The PRNG here is the only randomness source in the repository, and it is
+// fully determined by its seed. That property is load-bearing: data sets
+// regenerate bit-identically from a datagen.Spec, which is why a Spec (and
+// not the generated points) can stand in for the data set inside engine
+// cache keys.
+package stats

@@ -1,7 +1,3 @@
-// Package stats provides the small set of numeric helpers used by the
-// mergescale model, simulator and experiment harness: means, linear
-// regression, coefficient of determination, and deterministic pseudo-random
-// sequences for workload generation.
 package stats
 
 import (

@@ -1,16 +1,3 @@
-// Package trace provides the phase instrumentation and parameter extraction
-// used in Section IV/V-A of the paper: workload runs are split into
-// initialization, parallel, reduction (merging) and serial sections, and
-// the model parameters f, fcon, fcred and fored are extracted from profiles
-// collected at several thread counts.
-//
-// Profiles carry two measures per section:
-//
-//   - Work: a deterministic operation count (flops + memory ops) that is
-//     immune to GC/scheduler noise — the default basis for parameter
-//     extraction (see DESIGN.md on the hardware-validation substitution);
-//   - Duration: wall-clock time, used by the native "real hardware"
-//     validation experiment (Figure 2(c)).
 package trace
 
 import (

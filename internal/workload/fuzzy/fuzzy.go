@@ -61,6 +61,10 @@ func New() *Fuzzy { return &Fuzzy{Cfg: DefaultConfig()} }
 // Name implements workload.Workload.
 func (w *Fuzzy) Name() string { return "fuzzy" }
 
+// Params implements workload.Workload: Cfg is a plain scalar struct, so it
+// renders deterministically into engine cache keys.
+func (w *Fuzzy) Params() any { return w.Cfg }
+
 // DefaultSpec implements workload.Workload.
 func (w *Fuzzy) DefaultSpec() datagen.Spec { return datagen.FuzzyBase }
 

@@ -55,6 +55,10 @@ func New() *Hop { return &Hop{Cfg: DefaultConfig()} }
 // Name implements workload.Workload.
 func (w *Hop) Name() string { return "hop" }
 
+// Params implements workload.Workload: Cfg is a plain scalar struct, so it
+// renders deterministically into engine cache keys.
+func (w *Hop) Params() any { return w.Cfg }
+
 // DefaultSpec implements workload.Workload.
 func (w *Hop) DefaultSpec() datagen.Spec { return datagen.HopDefault }
 

@@ -60,6 +60,10 @@ func New() *KMeans { return &KMeans{Cfg: DefaultConfig()} }
 // Name implements workload.Workload.
 func (w *KMeans) Name() string { return "kmeans" }
 
+// Params implements workload.Workload: Cfg is a plain scalar struct, so it
+// renders deterministically into engine cache keys.
+func (w *KMeans) Params() any { return w.Cfg }
+
 // DefaultSpec implements workload.Workload.
 func (w *KMeans) DefaultSpec() datagen.Spec { return datagen.KMeansBase }
 

@@ -1,0 +1,152 @@
+package workload_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"mergescale/internal/engine"
+	"mergescale/internal/sim"
+	"mergescale/internal/workload"
+	"mergescale/internal/workload/kmeans"
+)
+
+// TestSimRunsEngineMatchesSerial: the engine-sharded per-core runs must be
+// identical to the serial reference path — same cycles, phases, counters.
+func TestSimRunsEngineMatchesSerial(t *testing.T) {
+	ds := testData(t, 43)
+	km := kmeans.New()
+	km.Cfg.Iters = 2
+	cfgs := []sim.Config{sim.DefaultConfig(1), sim.DefaultConfig(2), sim.DefaultConfig(4)}
+
+	serial, err := workload.SimRunsEngine(context.Background(), nil, km, ds, cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Workers: 4})
+	sharded, err := workload.SimRunsEngine(context.Background(), eng, km, ds, cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Fatalf("sharded runs differ from serial:\n%+v\nvs\n%+v", sharded, serial)
+	}
+	if st := eng.Stats(); st.Executed != uint64(len(cfgs)) {
+		t.Errorf("executed %d jobs, want %d (one per core count)", st.Executed, len(cfgs))
+	}
+}
+
+// TestSimCurveAndProfilesShareCache: the speedup curve and the profile
+// series over the same grid must reuse the same per-core cache entries —
+// the second call simulates nothing.
+func TestSimCurveAndProfilesShareCache(t *testing.T) {
+	ds := testData(t, 44)
+	km := kmeans.New()
+	km.Cfg.Iters = 2
+	cores := []int{1, 2, 4}
+	eng := engine.New(engine.Config{Workers: 2})
+
+	if _, err := workload.SimProfilesEngine(context.Background(), eng, km, ds, cores, 1); err != nil {
+		t.Fatal(err)
+	}
+	executed := eng.Stats().Executed
+	before := sim.Runs()
+
+	sp, err := workload.SimSpeedupCurveEngine(context.Background(), eng, km, ds, cores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[1] != 1.0 || len(sp) != len(cores) {
+		t.Fatalf("speedup curve malformed: %v", sp)
+	}
+	if again := eng.Stats().Executed; again != executed {
+		t.Errorf("speedup curve executed %d extra jobs, want 0 (shared cache)", again-executed)
+	}
+	if ran := sim.Runs() - before; ran != 0 {
+		t.Errorf("speedup curve performed %d machine runs, want 0", ran)
+	}
+}
+
+// TestSimRunsEngineMatchesLegacySerial pins the refactor: the legacy
+// helpers (SimProfiles, SimSpeedupCurve) must produce the same values as
+// the engine-sharded path.
+func TestSimRunsEngineMatchesLegacySerial(t *testing.T) {
+	ds := testData(t, 45)
+	km := kmeans.New()
+	km.Cfg.Iters = 2
+	cores := []int{1, 2}
+
+	legacy, err := workload.SimSpeedupCurve(km, ds, cores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Workers: 2})
+	sharded, err := workload.SimSpeedupCurveEngine(context.Background(), eng, km, ds, cores, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, sharded) {
+		t.Fatalf("legacy %v != sharded %v", legacy, sharded)
+	}
+}
+
+// TestSimRunKeyCoversConfiguration: every input that changes a run's
+// output must change its key, and scheduling-only state must not.
+func TestSimRunKeyCoversConfiguration(t *testing.T) {
+	ds := testData(t, 46)
+	km := kmeans.New()
+	km.Cfg.Iters = 2
+	base := workload.SimRunKey(km, ds.Spec, sim.DefaultConfig(2), 1)
+
+	if k := workload.SimRunKey(km, ds.Spec, sim.DefaultConfig(4), 1); k == base {
+		t.Error("key ignores core count")
+	}
+	if k := workload.SimRunKey(km, ds.Spec, sim.DefaultConfig(2), 2); k == base {
+		t.Error("key ignores scale")
+	}
+	spec2 := ds.Spec
+	spec2.Seed++
+	if k := workload.SimRunKey(km, spec2, sim.DefaultConfig(2), 1); k == base {
+		t.Error("key ignores data-set spec")
+	}
+	km2 := kmeans.New()
+	km2.Cfg.Iters = 3
+	if k := workload.SimRunKey(km2, ds.Spec, sim.DefaultConfig(2), 1); k == base {
+		t.Error("key ignores workload params")
+	}
+	km3 := kmeans.New()
+	km3.Cfg.Iters = 2
+	if k := workload.SimRunKey(km3, ds.Spec, sim.DefaultConfig(2), 1); k != base {
+		t.Error("key depends on workload identity beyond Name()+Params()")
+	}
+}
+
+// TestSimRunProfileMatchesSimProfile: deriving a profile from a cached
+// SimRun must equal running SimProfile directly.
+func TestSimRunProfileMatchesSimProfile(t *testing.T) {
+	ds := testData(t, 47)
+	for _, w := range allWorkloads() {
+		cfg := sim.DefaultConfig(2)
+		direct, err := workload.SimProfile(w, ds, cfg, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		run, err := workload.RunSim(w, ds, cfg, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		derived, err := run.Profile()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
+		}
+		if !reflect.DeepEqual(direct, derived) {
+			t.Errorf("%s: profile via SimRun differs from direct", w.Name())
+		}
+		if run.PhaseCycles("parallel") == 0 {
+			t.Errorf("%s: no parallel-phase cycles recorded", w.Name())
+		}
+		if len(run.PhaseNames()) == 0 {
+			t.Errorf("%s: no phases recorded", w.Name())
+		}
+	}
+}

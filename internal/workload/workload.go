@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -17,6 +18,11 @@ import (
 type Workload interface {
 	// Name returns the benchmark name ("kmeans", "fuzzy", "hop").
 	Name() string
+	// Params returns the workload's tunable configuration as a
+	// deterministic, pointer- and map-free value; it is hashed (via %#v)
+	// into engine cache keys, so two workloads with equal Name() and
+	// Params() must produce identical programs and native runs.
+	Params() any
 	// DefaultSpec returns the default data-set shape (Table IV "base").
 	DefaultSpec() datagen.Spec
 	// RunNative executes the algorithm with the given thread count,
@@ -47,23 +53,15 @@ func PartialBase(id int) uint64 {
 // cycle counts into a trace.Profile (Work = cycles). Phase names in the
 // generated programs must match the trace section names.
 func SimProfile(w Workload, ds *datagen.Dataset, cfg sim.Config, scale int) (*trace.Profile, error) {
-	prog, err := w.BuildProgram(ds, cfg, scale)
+	r, err := RunSim(w, ds, cfg, scale)
 	if err != nil {
 		return nil, err
 	}
-	m, err := sim.NewMachine(cfg)
-	if err != nil {
-		return nil, err
-	}
-	res, err := m.Run(prog)
-	if err != nil {
-		return nil, err
-	}
-	return ResultToProfile(w.Name(), cfg.Cores, res)
+	return r.Profile()
 }
 
-// ResultToProfile maps simulator phase cycles onto trace sections.
-func ResultToProfile(name string, cores int, res sim.Result) (*trace.Profile, error) {
+// phasesToProfile maps simulator phase cycles onto trace sections.
+func phasesToProfile(name string, cores int, phases []sim.PhaseTime) (*trace.Profile, error) {
 	p := trace.NewProfile(name, cores)
 	known := map[string]trace.Section{
 		"init":      trace.SecInit,
@@ -71,7 +69,7 @@ func ResultToProfile(name string, cores int, res sim.Result) (*trace.Profile, er
 		"reduction": trace.SecReduction,
 		"serial":    trace.SecSerial,
 	}
-	for _, ph := range res.Phases {
+	for _, ph := range phases {
 		sec, ok := known[ph.Name]
 		if !ok {
 			return nil, fmt.Errorf("workload: unknown phase %q in simulation result", ph.Name)
@@ -84,39 +82,16 @@ func ResultToProfile(name string, cores int, res sim.Result) (*trace.Profile, er
 	return p, nil
 }
 
+// ResultToProfile maps simulator phase cycles onto trace sections.
+func ResultToProfile(name string, cores int, res sim.Result) (*trace.Profile, error) {
+	return phasesToProfile(name, cores, res.Phases)
+}
+
 // SimSpeedupCurve runs the workload on 1..maxCores (doubling) simulated
 // cores and returns speedups relative to the single-core run — the series
-// of Figure 2(a).
+// of Figure 2(a). It is the serial reference form of SimSpeedupCurveEngine.
 func SimSpeedupCurve(w Workload, ds *datagen.Dataset, coreCounts []int, scale int) (map[int]float64, error) {
-	cycles := map[int]uint64{}
-	for _, c := range coreCounts {
-		cfg := sim.DefaultConfig(c)
-		prog, err := w.BuildProgram(ds, cfg, scale)
-		if err != nil {
-			return nil, err
-		}
-		m, err := sim.NewMachine(cfg)
-		if err != nil {
-			return nil, err
-		}
-		res, err := m.Run(prog)
-		if err != nil {
-			return nil, err
-		}
-		cycles[c] = res.Cycles
-	}
-	base, ok := cycles[1]
-	if !ok {
-		return nil, errors.New("workload: speedup curve needs a 1-core run")
-	}
-	out := map[int]float64{}
-	for c, cy := range cycles {
-		if cy == 0 {
-			return nil, errors.New("workload: zero-cycle run")
-		}
-		out[c] = float64(base) / float64(cy)
-	}
-	return out, nil
+	return SimSpeedupCurveEngine(context.Background(), nil, w, ds, coreCounts, scale)
 }
 
 // NativeProfiles runs the workload natively across the given thread counts.
@@ -132,15 +107,8 @@ func NativeProfiles(w Workload, ds *datagen.Dataset, threadCounts []int, timing 
 	return out, nil
 }
 
-// SimProfiles runs the workload on the simulator across core counts.
+// SimProfiles runs the workload on the simulator across core counts. It is
+// the serial reference form of SimProfilesEngine.
 func SimProfiles(w Workload, ds *datagen.Dataset, coreCounts []int, scale int) ([]*trace.Profile, error) {
-	var out []*trace.Profile
-	for _, c := range coreCounts {
-		p, err := SimProfile(w, ds, sim.DefaultConfig(c), scale)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
-	}
-	return out, nil
+	return SimProfilesEngine(context.Background(), nil, w, ds, coreCounts, scale)
 }

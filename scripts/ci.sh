@@ -22,4 +22,16 @@ go test -race ./...
 echo "== go test -bench (1 iteration) =="
 go test -bench=. -benchtime=1x -run '^$' .
 
+echo "== cold/warm disk-cache determinism =="
+# A full -quick `run all` twice against one fresh cache dir: the warm run
+# must execute zero jobs and render byte-for-byte identical output.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/mergescale" ./cmd/mergescale
+"$tmp/mergescale" -quick -cachedir "$tmp/cache" run all > "$tmp/cold.out"
+"$tmp/mergescale" -quick -cachedir "$tmp/cache" -stats run all > "$tmp/warm.out" 2> "$tmp/warm.stats"
+cmp "$tmp/cold.out" "$tmp/warm.out"
+grep -q '0 executed' "$tmp/warm.stats"
+grep -q 'disk:' "$tmp/warm.stats"
+
 echo "CI OK"
