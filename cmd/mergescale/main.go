@@ -3,19 +3,29 @@
 // Usage:
 //
 //	mergescale -list
-//	mergescale [-quick] [-csv] [-duration] [-workers N] [-cachedir DIR] [-nocache] [-stats] run <experiment-id>|all
+//	mergescale [-quick] [-format F] [-stream] [-out FILE] [-duration]
+//	           [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] [-stats]
+//	           run <experiment-id>|all
 //
 // Experiment ids follow the paper's artifact numbering (table1..table4,
 // fig2a..fig7) plus the abl-* ablations; see DESIGN.md for the index.
 //
 // Experiments execute concurrently on the engine worker pool (one job per
 // artifact; design-space sweeps and per-core simulator runs shard into
-// sub-jobs), but the output is always printed in registry order, so a
+// sub-jobs), but the output is always rendered in registry order, so a
 // parallel run is byte-identical to -workers 1.
+//
+// Output goes through the streaming report pipeline: -format selects the
+// backend (text, markdown, json, csv — all byte-deterministic), and
+// -stream renders each experiment the moment it completes instead of after
+// the whole run, cutting time-to-first-output to the fastest artifact while
+// producing exactly the same bytes (experiments.Stream releases outcomes in
+// registry order).
 //
 // With -cachedir, results persist across processes: a second run against a
 // warm cache directory replays every artifact from disk without running a
-// single simulation. Wall-clock (-duration) results are never cached.
+// single simulation. -cachettl expires entries by age; wall-clock
+// (-duration) results are never cached.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"mergescale/internal/engine"
 	"mergescale/internal/engine/diskcache"
 	"mergescale/internal/experiments"
+	"mergescale/internal/report"
 )
 
 func main() {
@@ -44,15 +55,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		list     = fs.Bool("list", false, "list available experiments and exit")
 		quickRun = fs.Bool("quick", false, "shrink data sets and grids for a fast run")
-		csv      = fs.Bool("csv", false, "emit CSV instead of formatted tables")
+		format   = fs.String("format", "text", "output format: text | markdown | json | csv")
+		stream   = fs.Bool("stream", false, "render each experiment as soon as it completes (same bytes, lower latency)")
+		outPath  = fs.String("out", "", "write rendered output to this file instead of stdout")
+		csv      = fs.Bool("csv", false, "deprecated: shorthand for -format=csv")
 		duration = fs.Bool("duration", false, "base native experiments on wall time instead of op counts")
 		workers  = fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial)")
 		cachedir = fs.String("cachedir", "", "persist engine results to this directory across runs")
+		cachettl = fs.Duration("cachettl", 0, "expire disk-cache entries older than this (0 = never)")
 		nocache  = fs.Bool("nocache", false, "disable the engine result cache (memory and disk)")
 		stats    = fs.Bool("stats", false, "print engine cache/worker statistics to stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mergescale [-quick] [-csv] [-duration] [-workers N] [-cachedir DIR] [-nocache] [-stats] run <id>|all\n       mergescale -list\n")
+		fmt.Fprintf(stderr, "usage: mergescale [-quick] [-format F] [-stream] [-out FILE] [-duration] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] [-stats] run <id>|all\n       mergescale -list\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +90,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *csv && *format == "text" {
+		*format = "csv"
+	}
+
 	opt := experiments.Options{Quick: *quickRun, UseDuration: *duration}
 	var targets []experiments.Experiment
 	if rest[1] == "all" {
@@ -88,6 +107,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		targets = []experiments.Experiment{e}
 	}
 
+	out := stdout
+	var outFile *os.File
+	if *outPath != "" {
+		// Reject a bad -format before touching -out: os.Create truncates,
+		// and a format typo must not destroy the previous report file.
+		if _, err := report.NewRenderer(*format, io.Discard); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "mergescale: %v\n", err)
+			return 1
+		}
+		outFile = f
+		out = f
+	}
+	renderer, err := report.NewRenderer(*format, out)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
 	// Ctrl-C cancels in-flight jobs instead of killing mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -95,7 +137,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := engine.Config{Workers: *workers, DisableCache: *nocache}
 	var store *diskcache.Store
 	if *cachedir != "" && !*nocache {
-		s, err := diskcache.Open(*cachedir, diskcache.Options{})
+		s, err := diskcache.Open(*cachedir, diskcache.Options{TTL: *cachettl})
 		if err != nil {
 			// The cache is best-effort: degrade to a cold run.
 			fmt.Fprintf(stderr, "mergescale: disk cache disabled: %v\n", err)
@@ -105,25 +147,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	eng := engine.New(cfg)
-	for _, o := range experiments.RunAll(ctx, eng, targets, opt) {
-		if o.Err != nil {
-			fmt.Fprintf(stderr, "%s: %v\n", o.ID, o.Err)
-			return 1
+
+	code := render(ctx, eng, targets, opt, renderer, *stream, stderr)
+	if outFile != nil {
+		if err := outFile.Close(); err != nil && code == 0 {
+			fmt.Fprintf(stderr, "mergescale: %v\n", err)
+			code = 1
 		}
-		var renderErr error
-		if *csv {
-			renderErr = o.Doc.CSV(stdout)
-		} else {
-			renderErr = o.Doc.Render(stdout)
-		}
-		if renderErr != nil {
-			fmt.Fprintf(stderr, "%s: render: %v\n", o.ID, renderErr)
-			return 1
-		}
-		fmt.Fprintln(stdout)
 	}
 	if *stats {
 		printStats(stderr, eng, store)
+	}
+	return code
+}
+
+// render drives the experiment pipeline into renderer, either streaming
+// (each document the moment its engine job resolves, released in registry
+// order) or buffered (after the whole run). Both paths emit exactly the
+// same bytes; only the latency differs.
+func render(ctx context.Context, eng *engine.Engine, targets []experiments.Experiment,
+	opt experiments.Options, renderer report.Renderer, stream bool, stderr io.Writer) int {
+	if err := renderer.Begin(); err != nil {
+		fmt.Fprintf(stderr, "mergescale: render: %v\n", err)
+		return 1
+	}
+	emit := func(o experiments.Outcome) error {
+		if o.Err != nil {
+			return fmt.Errorf("%s: %v", o.ID, o.Err)
+		}
+		if err := o.Doc.Replay(renderer); err != nil {
+			return fmt.Errorf("%s: render: %v", o.ID, err)
+		}
+		return nil
+	}
+	var runErr error
+	if stream {
+		runErr = experiments.Stream(ctx, eng, targets, opt, emit)
+	} else {
+		for _, o := range experiments.RunAll(ctx, eng, targets, opt) {
+			if runErr = emit(o); runErr != nil {
+				break
+			}
+		}
+	}
+	if runErr == nil {
+		runErr = renderer.End()
+	}
+	if runErr != nil {
+		fmt.Fprintln(stderr, runErr)
+		return 1
 	}
 	return 0
 }
@@ -140,6 +212,6 @@ func printStats(stderr io.Writer, eng *engine.Engine, store *diskcache.Store) {
 	}
 	ds := store.Stats()
 	entries, bytes := store.Size()
-	fmt.Fprintf(stderr, "disk: %d hits / %d misses, %d writes (%d skipped), %d evictions, %d dropped, %d entries / %d bytes in %s\n",
-		st.StoreHits, st.StoreMisses, ds.Puts, ds.PutSkips, ds.Evictions, ds.Dropped, entries, bytes, store.Dir())
+	fmt.Fprintf(stderr, "disk: %d hits / %d misses, %d writes (%d skipped), %d evictions, %d expired, %d dropped, %d entries / %d bytes in %s\n",
+		st.StoreHits, st.StoreMisses, ds.Puts, ds.PutSkips, ds.Evictions, ds.Expired, ds.Dropped, entries, bytes, store.Dir())
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -123,5 +126,150 @@ func TestRunCSV(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "parallelism,constant,reduction") {
 		t.Fatalf("csv header missing:\n%.200s", out.String())
+	}
+}
+
+// TestStreamMatchesBufferedCLI: -stream must produce byte-identical output
+// to the buffered default, per format.
+func TestStreamMatchesBufferedCLI(t *testing.T) {
+	for _, format := range []string{"text", "markdown", "json", "csv"} {
+		var buffered, streamed, errOut bytes.Buffer
+		if code := run([]string{"-quick", "-format", format, "run", "fig4"}, &buffered, &errOut); code != 0 {
+			t.Fatalf("%s buffered run failed: %s", format, errOut.String())
+		}
+		if code := run([]string{"-quick", "-format", format, "-stream", "run", "fig4"}, &streamed, &errOut); code != 0 {
+			t.Fatalf("%s streamed run failed: %s", format, errOut.String())
+		}
+		if !bytes.Equal(buffered.Bytes(), streamed.Bytes()) {
+			t.Errorf("%s: -stream output differs from buffered", format)
+		}
+	}
+}
+
+// TestFormatMarkdown: the markdown backend emits the document heading and
+// a pipe table.
+func TestFormatMarkdown(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-quick", "-format", "markdown", "run", "table3"}, &out, &errOut); code != 0 {
+		t.Fatalf("markdown run failed: %s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "## table3: ") {
+		t.Errorf("markdown heading missing:\n%.200s", out.String())
+	}
+	if !strings.Contains(out.String(), "| --- |") {
+		t.Error("markdown table separator missing")
+	}
+}
+
+// TestFormatJSON: the json backend emits one parseable array with the
+// requested artifact.
+func TestFormatJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-quick", "-format", "json", "-stream", "run", "table3"}, &out, &errOut); code != 0 {
+		t.Fatalf("json run failed: %s", errOut.String())
+	}
+	var docs []struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &docs); err != nil {
+		t.Fatalf("json output does not parse: %v\n%.200s", err, out.String())
+	}
+	if len(docs) != 1 || docs[0].ID != "table3" {
+		t.Fatalf("json docs = %+v, want [table3]", docs)
+	}
+}
+
+// TestCSVFlagAlias: the deprecated -csv flag must stay byte-equivalent to
+// -format=csv.
+func TestCSVFlagAlias(t *testing.T) {
+	var legacy, modern, errOut bytes.Buffer
+	if code := run([]string{"-quick", "-csv", "run", "table3"}, &legacy, &errOut); code != 0 {
+		t.Fatalf("-csv run failed: %s", errOut.String())
+	}
+	if code := run([]string{"-quick", "-format", "csv", "run", "table3"}, &modern, &errOut); code != 0 {
+		t.Fatalf("-format=csv run failed: %s", errOut.String())
+	}
+	if !bytes.Equal(legacy.Bytes(), modern.Bytes()) {
+		t.Error("-csv and -format=csv outputs differ")
+	}
+}
+
+// TestUnknownFormat: a bad -format is a usage error before any work runs.
+func TestUnknownFormat(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-format", "yaml", "run", "table3"}, &out, &errOut); code != 2 {
+		t.Fatalf("-format=yaml exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown format") {
+		t.Fatalf("expected unknown-format error, got: %s", errOut.String())
+	}
+}
+
+// TestOutFile: -out writes the rendered report to the file and nothing to
+// stdout.
+func TestOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-quick", "-format", "markdown", "-stream", "-out", path, "run", "table3"}, &out, &errOut); code != 0 {
+		t.Fatalf("-out run failed: %s", errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("-out run still wrote %d bytes to stdout", out.Len())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if code := run([]string{"-quick", "-format", "markdown", "run", "table3"}, &direct, &errOut); code != 0 {
+		t.Fatalf("direct run failed: %s", errOut.String())
+	}
+	if !bytes.Equal(data, direct.Bytes()) {
+		t.Error("-out file differs from stdout rendering")
+	}
+}
+
+// TestWarmDiskCacheStreamedMarkdown: the warm-replay guarantee holds on
+// the streaming markdown path — zero simulator machine runs and
+// byte-identical output on the second run.
+func TestWarmDiskCacheStreamedMarkdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	args := []string{"-quick", "-cachedir", dir, "-format", "markdown", "-stream", "run", "fig2a"}
+	var cold, warm, errOut bytes.Buffer
+	if code := run(args, &cold, &errOut); code != 0 {
+		t.Fatalf("cold run failed: %s", errOut.String())
+	}
+	before := sim.Runs()
+	if code := run(args, &warm, &errOut); code != 0 {
+		t.Fatalf("warm run failed: %s", errOut.String())
+	}
+	if ran := sim.Runs() - before; ran != 0 {
+		t.Errorf("warm streamed run performed %d simulator machine runs, want 0", ran)
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Error("warm streamed markdown differs from cold")
+	}
+}
+
+// TestBadFormatPreservesOutFile: a -format typo must not truncate an
+// existing -out file.
+func TestBadFormatPreservesOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-format", "mardown", "-out", path, "run", "table3"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad format exit code = %d, want 2", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "precious" {
+		t.Errorf("-out file was clobbered by a rejected run: %q", data)
 	}
 }

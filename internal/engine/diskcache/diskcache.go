@@ -4,14 +4,14 @@
 // singleflight memory cache via engine.Config.Store.
 //
 // Entry format. Each entry is one file named after the FNV-1a hash of its
-// key, holding a gob stream of a versioned envelope {Version, Key, Value}.
-// Value is an interface; every concrete type that flows through the store
-// must be gob.Register-ed by the package that produces it (experiments
-// registers *report.Document, workload registers SimRun, core registers its
-// sweep evaluations). Bump envelopeVersion whenever the envelope layout or
-// the meaning of cached values changes: readers treat any other version as
-// a miss and drop the file, so stale caches self-heal instead of poisoning
-// new binaries.
+// key, holding a gob stream of a versioned envelope {Version, Key,
+// WrittenAt, Value}. Value is an interface; every concrete type that flows
+// through the store must be gob.Register-ed by the package that produces it
+// (experiments registers *report.Document, report registers Element,
+// workload registers SimRun, core registers its sweep evaluations). Bump
+// envelopeVersion whenever the envelope layout or the meaning of cached
+// values changes: readers treat any other version as a miss and drop the
+// file, so stale caches self-heal instead of poisoning new binaries.
 //
 // Failure model. The store is strictly best-effort and must never fail a
 // job: corrupt, truncated, stale-version, or key-mismatched entries are
@@ -24,7 +24,16 @@
 // (Options.MaxBytes, default DefaultMaxBytes), evicting the
 // least-recently-used entries (by file mtime, which Get refreshes) after
 // each write. The cap is enforced per process: concurrent writers may
-// transiently overshoot, which the next Put repairs.
+// transiently overshoot, which the next Put repairs. Pin exempts
+// individual keys from eviction.
+//
+// Expiry. Options.TTL bounds entry lifetime from write time (WrittenAt in
+// the envelope, so LRU recency bumps never extend a lifetime); zero means
+// entries never expire. An expired entry reads as a miss and is unlinked —
+// the slot self-heals on the next Put. Expiry applies to pinned entries
+// too: Pin only shields an entry from LRU eviction, so an expired-but-
+// pinned entry survives capacity pressure until its key is recomputed and
+// rewritten in place.
 package diskcache
 
 import (
@@ -42,8 +51,9 @@ import (
 
 const (
 	// envelopeVersion tags every entry file; see the package comment for
-	// when to bump it.
-	envelopeVersion = 1
+	// when to bump it. v2 added WrittenAt (per-entry TTL support), so v1
+	// caches drain automatically.
+	envelopeVersion = 2
 	// suffix marks entry files; anything else in the directory is ignored.
 	suffix = ".gob"
 	// tmpPrefix/tmpSuffix mark in-flight Put temp files. Open sweeps ones
@@ -61,7 +71,10 @@ const DefaultMaxBytes = 1 << 30
 type envelope struct {
 	Version int
 	Key     string
-	Value   any
+	// WrittenAt is the Put wall-clock time in Unix nanoseconds; TTL expiry
+	// is measured against it, never against the file's (LRU-bumped) mtime.
+	WrittenAt int64
+	Value     any
 }
 
 // Options tunes Open.
@@ -69,6 +82,10 @@ type Options struct {
 	// MaxBytes caps the total size of entry files; <= 0 selects
 	// DefaultMaxBytes.
 	MaxBytes int64
+	// TTL expires entries this long after they were written; zero (the
+	// default) never expires. Expired entries read as misses and are
+	// unlinked so the slot self-heals on the next Put.
+	TTL time.Duration
 }
 
 // Stats counts store traffic since Open. Lookup hit/miss counts live in
@@ -78,6 +95,7 @@ type Stats struct {
 	Puts      uint64 // entries written
 	PutSkips  uint64 // writes skipped (unencodable value or I/O failure)
 	Evictions uint64 // entries removed to stay under the byte cap
+	Expired   uint64 // entries past their TTL removed by Get
 	Dropped   uint64 // corrupt/stale/mismatched entries removed by Get
 }
 
@@ -92,9 +110,11 @@ type entry struct {
 type Store struct {
 	dir string
 	max int64
+	ttl time.Duration
 
 	mu      sync.Mutex
 	entries map[string]entry // file name -> info
+	pinned  map[string]bool  // file names exempt from LRU eviction
 	total   int64
 	stats   Stats
 }
@@ -109,7 +129,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if max <= 0 {
 		max = DefaultMaxBytes
 	}
-	s := &Store{dir: dir, max: max, entries: map[string]entry{}}
+	s := &Store{dir: dir, max: max, ttl: opts.TTL, entries: map[string]entry{}, pinned: map[string]bool{}}
 	des, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("diskcache: %w", err)
@@ -180,7 +200,15 @@ func (s *Store) Get(key string) (any, bool) {
 	var env envelope
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil ||
 		env.Version != envelopeVersion || env.Key != key {
-		s.drop(name)
+		s.drop(name, &s.stats.Dropped)
+		return nil, false
+	}
+	if s.ttl > 0 && time.Since(time.Unix(0, env.WrittenAt)) > s.ttl {
+		// Past its lifetime: a miss that self-heals — the slot is freed now
+		// and rewritten by the Put that follows the recomputation. Pinning
+		// does not rescue expired entries; it only shields live ones from
+		// LRU eviction.
+		s.drop(name, &s.stats.Expired)
 		return nil, false
 	}
 	now := time.Now()
@@ -194,16 +222,43 @@ func (s *Store) Get(key string) (any, bool) {
 	return env.Value, true
 }
 
-// drop unlinks a broken entry and forgets it.
-func (s *Store) drop(name string) {
+// drop unlinks a dead entry (broken or expired), forgets it, and bumps the
+// given counter.
+func (s *Store) drop(name string, counter *uint64) {
 	_ = os.Remove(filepath.Join(s.dir, name))
 	s.mu.Lock()
 	if e, ok := s.entries[name]; ok {
 		s.total -= e.size
 		delete(s.entries, name)
 	}
-	s.stats.Dropped++
+	*counter++
 	s.mu.Unlock()
+}
+
+// Pin exempts key's entry — present or future — from LRU eviction, so a
+// result worth keeping warm (a full-run artifact, a seed configuration)
+// survives capacity pressure from bulkier neighbors. Pinned entries still
+// count toward the byte cap (many pins can hold the store above it, which
+// only more Puts of pinned keys can worsen) and still expire under TTL:
+// expiry reads as a miss whose recomputation rewrites the slot in place.
+func (s *Store) Pin(key string) {
+	s.mu.Lock()
+	s.pinned[fileName(key)] = true
+	s.mu.Unlock()
+}
+
+// Unpin makes key's entry an ordinary LRU citizen again.
+func (s *Store) Unpin(key string) {
+	s.mu.Lock()
+	delete(s.pinned, fileName(key))
+	s.mu.Unlock()
+}
+
+// Pinned reports whether key is currently pinned.
+func (s *Store) Pinned(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pinned[fileName(key)]
 }
 
 // Put implements engine.Store: it persists val under key with an atomic
@@ -212,7 +267,8 @@ func (s *Store) drop(name string) {
 // silent — the cache is best-effort by contract.
 func (s *Store) Put(key string, val any) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(envelope{Version: envelopeVersion, Key: key, Value: val}); err != nil {
+	env := envelope{Version: envelopeVersion, Key: key, WrittenAt: time.Now().UnixNano(), Value: val}
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
 		s.skip()
 		return
 	}
@@ -262,16 +318,16 @@ func (s *Store) skip() {
 
 // evictLocked removes index records oldest-first (mtime, then name for a
 // deterministic tie-break) until total <= max, sparing keep — the entry
-// just written — so a single oversized value cannot evict itself into a
-// write/evict loop. It returns the file names for the caller to unlink
-// outside the lock.
+// just written, so a single oversized value cannot evict itself into a
+// write/evict loop — and every pinned entry. It returns the file names for
+// the caller to unlink outside the lock.
 func (s *Store) evictLocked(keep string) []string {
 	if s.total <= s.max {
 		return nil
 	}
 	names := make([]string, 0, len(s.entries))
 	for n := range s.entries {
-		if n != keep {
+		if n != keep && !s.pinned[n] {
 			names = append(names, n)
 		}
 	}

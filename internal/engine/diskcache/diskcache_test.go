@@ -271,3 +271,150 @@ func TestGetRefreshesRecency(t *testing.T) {
 		t.Error("LRU entry survived")
 	}
 }
+
+// backdate rewrites an entry's envelope WrittenAt so TTL tests need no
+// sleeping, mirroring how a long-lived cache directory actually ages.
+func backdate(t *testing.T, s *Store, key string, age time.Duration) {
+	t.Helper()
+	name := fileName(key)
+	path := filepath.Join(s.dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	env.WrittenAt = time.Now().Add(-age).UnixNano()
+	writeEnvelope(t, s.dir, name, env)
+}
+
+// TestTTLExpiry: entries older than the TTL read as misses, are unlinked
+// (self-heal), and are counted separately from corruption drops.
+func TestTTLExpiry(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{TTL: time.Minute})
+	s.Put("k", testVal{N: 7})
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("fresh entry missed under TTL")
+	}
+
+	backdate(t, s, "k", 2*time.Minute)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("expired entry hit")
+	}
+	if st := s.Stats(); st.Expired != 1 || st.Dropped != 0 {
+		t.Errorf("stats = %+v, want 1 expiry and 0 drops", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, fileName("k"))); !os.IsNotExist(err) {
+		t.Error("expired entry file not unlinked")
+	}
+
+	// Self-heal: the next Put rewrites the slot and serves again.
+	s.Put("k", testVal{N: 8})
+	if v, ok := s.Get("k"); !ok || v != (testVal{N: 8}) {
+		t.Errorf("rewritten slot: %v/%v", v, ok)
+	}
+}
+
+// TestTTLZeroNeverExpires: the default store serves arbitrarily old
+// entries.
+func TestTTLZeroNeverExpires(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	s.Put("k", testVal{N: 1})
+	backdate(t, s, "k", 24*365*time.Hour)
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("TTL-less store expired an entry")
+	}
+}
+
+// TestTTLRecencyBumpDoesNotExtendLifetime: Get refreshes mtime for LRU,
+// but expiry is measured against the envelope's write time, so repeated
+// hits cannot keep a stale entry alive.
+func TestTTLRecencyBumpDoesNotExtendLifetime(t *testing.T) {
+	s := open(t, t.TempDir(), Options{TTL: time.Minute})
+	s.Put("k", testVal{N: 1})
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Get("k"); !ok { // each hit bumps mtime
+			t.Fatal("live entry missed")
+		}
+	}
+	backdate(t, s, "k", 2*time.Minute)
+	now := time.Now()
+	if err := os.Chtimes(filepath.Join(s.dir, fileName("k")), now, now); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("fresh mtime rescued an expired entry")
+	}
+}
+
+// TestPinSurvivesEviction: under capacity pressure the pinned entry is
+// spared even when it is the coldest, and the unpinned one goes.
+func TestPinSurvivesEviction(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxBytes: 1})
+	s.Put("keep", testVal{N: 1})
+	s.Pin("keep")
+	// Make the pinned entry the obvious LRU victim.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, fileName("keep")), past, past); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	e := s.entries[fileName("keep")]
+	e.mtime = past
+	s.entries[fileName("keep")] = e
+	s.mu.Unlock()
+
+	s.Put("bulk", testVal{N: 2})
+
+	if v, ok := s.Get("keep"); !ok || v != (testVal{N: 1}) {
+		t.Error("pinned entry was evicted")
+	}
+	if !s.Pinned("keep") || s.Pinned("bulk") {
+		t.Error("Pinned() does not reflect the pin set")
+	}
+
+	// Unpin restores ordinary LRU behavior: the next write evicts it.
+	s.Unpin("keep")
+	s.mu.Lock()
+	e = s.entries[fileName("keep")]
+	e.mtime = past
+	s.entries[fileName("keep")] = e
+	s.mu.Unlock()
+	s.Put("bulk2", testVal{N: 3})
+	if _, ok := s.Get("keep"); ok {
+		t.Error("unpinned entry survived eviction")
+	}
+}
+
+// TestPinnedEntryStillExpires: Pin shields from LRU eviction only —
+// an expired pinned entry reads as a miss and self-heals, staying pinned
+// for its rewritten successor.
+func TestPinnedEntryStillExpires(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{TTL: time.Minute, MaxBytes: 1})
+	s.Put("k", testVal{N: 1})
+	s.Pin("k")
+	backdate(t, s, "k", 2*time.Minute)
+
+	// LRU pressure first: the expired-but-pinned entry must survive it.
+	s.Put("other", testVal{N: 9})
+	if _, err := os.Stat(filepath.Join(dir, fileName("k"))); err != nil {
+		t.Fatal("expired-but-pinned entry did not survive eviction")
+	}
+
+	// Reading it is still a miss, and the slot self-heals pinned.
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("expired pinned entry hit")
+	}
+	s.Put("k", testVal{N: 2})
+	if v, ok := s.Get("k"); !ok || v != (testVal{N: 2}) {
+		t.Errorf("healed slot: %v/%v", v, ok)
+	}
+	if !s.Pinned("k") {
+		t.Error("pin lost across expiry")
+	}
+}

@@ -46,6 +46,18 @@ type Job struct {
 	// Fn computes the result. It must honor ctx cancellation for prompt
 	// shutdown and must be deterministic for its Key.
 	Fn func(ctx context.Context) (any, error)
+	// OnDone, when non-nil, is invoked exactly once with the job's Result
+	// as soon as it is known — including cached, errored, and cancelled
+	// results — and always before Run returns. It runs on whichever
+	// goroutine resolved the job: a pool worker, or (per the caller-runs-
+	// inline invariant) the goroutine that called Run. Callbacks for
+	// different jobs may fire concurrently and in any completion order, so
+	// they must synchronize shared state themselves and should return
+	// quickly — a slow callback occupies a worker slot. This is the
+	// completion-notification hook the streaming experiment pipeline is
+	// built on: consumers learn of each result without polling Run's
+	// return slice.
+	OnDone func(Result)
 }
 
 // Result is the outcome of one submitted job, reported in submission order.
@@ -132,7 +144,9 @@ func (e *Engine) Stats() Stats {
 // Run executes jobs with at most Workers in flight and returns their
 // results in submission order. It blocks until every job has finished or
 // observed ctx cancellation. Run is safe for concurrent use and for
-// nested calls from inside job functions.
+// nested calls from inside job functions. Jobs carrying an OnDone hook are
+// additionally reported one by one, in completion order, as they resolve
+// (see Job.OnDone); every hook has returned by the time Run does.
 func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	var wg sync.WaitGroup
@@ -144,6 +158,9 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 				defer wg.Done()
 				defer func() { <-e.sem }()
 				results[i] = e.exec(ctx, jobs[i])
+				if jobs[i].OnDone != nil {
+					jobs[i].OnDone(results[i])
+				}
 			}(i)
 		default:
 			// Pool saturated (or a nested Run inside a worker): execute on
@@ -151,6 +168,9 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 			// their own sub-jobs.
 			e.inline.Add(1)
 			results[i] = e.exec(ctx, jobs[i])
+			if jobs[i].OnDone != nil {
+				jobs[i].OnDone(results[i])
+			}
 		}
 	}
 	wg.Wait()

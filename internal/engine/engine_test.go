@@ -412,3 +412,112 @@ func TestWaiterSurvivesComputerCancellation(t *testing.T) {
 		t.Fatalf("waiter result = %+v, want recomputed value", resB)
 	}
 }
+
+// TestOnDoneFiresOncePerJob: every job's OnDone hook must fire exactly
+// once with the job's own result, before Run returns, across worker
+// counts (exercising both the pool and the inline path).
+func TestOnDoneFiresOncePerJob(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		eng := New(Config{Workers: workers})
+		const n = 24
+		jobs := buildJobs(workers, n, true)
+		var mu sync.Mutex
+		calls := make(map[string]int)
+		notified := make(map[string]Result)
+		for i := range jobs {
+			id := jobs[i].ID
+			jobs[i].OnDone = func(r Result) {
+				mu.Lock()
+				calls[id]++
+				notified[id] = r
+				mu.Unlock()
+			}
+		}
+		results := eng.Run(context.Background(), jobs)
+		// Run has returned: every hook must already have fired, no lock
+		// needed beyond the race detector's satisfaction.
+		mu.Lock()
+		defer mu.Unlock()
+		if len(calls) != n {
+			t.Fatalf("workers=%d: %d jobs notified, want %d", workers, len(calls), n)
+		}
+		for i, r := range results {
+			id := jobs[i].ID
+			if calls[id] != 1 {
+				t.Errorf("workers=%d: %s notified %d times, want 1", workers, id, calls[id])
+			}
+			if got := notified[id]; got.Value != r.Value || got.Err != r.Err {
+				t.Errorf("workers=%d: %s notified %+v, Run returned %+v", workers, id, got, r)
+			}
+		}
+	}
+}
+
+// TestOnDoneInline: with Workers=1 every job runs inline on the calling
+// goroutine, and the hook must still fire for each (synchronously, so no
+// locking is even necessary).
+func TestOnDoneInline(t *testing.T) {
+	eng := New(Config{Workers: 1})
+	var order []string
+	jobs := buildJobs(7, 6, false)
+	for i := range jobs {
+		id := jobs[i].ID
+		jobs[i].OnDone = func(Result) { order = append(order, id) }
+	}
+	eng.Run(context.Background(), jobs)
+	if st := eng.Stats(); st.Inline != 6 {
+		t.Fatalf("inline executions = %d, want 6", st.Inline)
+	}
+	for i, id := range order {
+		if id != jobs[i].ID {
+			t.Fatalf("inline notification order %v, want submission order", order)
+		}
+	}
+	if len(order) != 6 {
+		t.Fatalf("%d notifications, want 6", len(order))
+	}
+}
+
+// TestOnDoneCancellationAndCache: hooks fire for cancelled results (with
+// the context error) and for cache-satisfied duplicates.
+func TestOnDoneCancellationAndCache(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := New(Config{Workers: 4})
+	var notified atomic.Uint64
+	jobs := buildJobs(1, 4, true)
+	for i := range jobs {
+		jobs[i].OnDone = func(r Result) {
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Errorf("cancelled job notified with err %v", r.Err)
+			}
+			notified.Add(1)
+		}
+	}
+	eng.Run(ctx, jobs)
+	if notified.Load() != 4 {
+		t.Fatalf("%d cancelled notifications, want 4", notified.Load())
+	}
+
+	// Same key twice: the duplicate is served from cache, but both hooks
+	// must fire and agree on the value.
+	notified.Store(0)
+	dup := make([]Job, 2)
+	for i := range dup {
+		dup[i] = Job{
+			ID:  fmt.Sprintf("dup%d", i),
+			Key: Key("ondone-dup"),
+			Fn:  func(context.Context) (any, error) { return "v", nil },
+			OnDone: func(r Result) {
+				if r.Value != "v" || r.Err != nil {
+					t.Errorf("dup notified %+v", r)
+				}
+				notified.Add(1)
+			},
+		}
+	}
+	eng.Run(context.Background(), dup)
+	if notified.Load() != 2 {
+		t.Fatalf("%d duplicate notifications, want 2", notified.Load())
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"mergescale/internal/engine"
 	"mergescale/internal/report"
@@ -16,47 +17,129 @@ type Outcome struct {
 	Cached bool
 }
 
-// RunAll executes targets concurrently through eng and returns outcomes in
-// target order regardless of completion order, so rendering the outcomes
-// is byte-identical to a serial run. Each experiment is one engine job
-// keyed by its config hash; experiments additionally shard their internal
-// sweeps into sub-jobs on the same engine (via opt.Engine), which the
-// engine executes inline when the pool is saturated. A nil eng runs the
-// targets serially on the calling goroutine.
-func RunAll(ctx context.Context, eng *engine.Engine, targets []Experiment, opt Options) []Outcome {
-	outcomes := make([]Outcome, len(targets))
+// Sink consumes completed outcomes in target order. Returning a non-nil
+// error stops delivery — no later outcome reaches the sink and Stream
+// returns that error — but already-submitted engine jobs still run to
+// completion (their results are simply dropped).
+type Sink func(Outcome) error
+
+// Stream executes targets through eng and hands each outcome to sink as
+// soon as it is ready AND every earlier target has been delivered. Outcomes
+// therefore arrive in target order — streamed rendering is byte-identical
+// to a buffered run — but the first outcome is released when the first
+// target resolves, not when the slowest one does, and at most the
+// out-of-order suffix of completed outcomes is ever held in memory.
+//
+// Completion is driven by the engine's per-job OnDone hook, so there is no
+// polling: hooks fire on whichever goroutine resolved each job (a pool
+// worker, or this goroutine via the caller-runs-inline invariant) and park
+// their outcome in a small in-order release buffer; the buffer's lock
+// serializes sink calls, so the sink itself needs no synchronization.
+// Cancelled targets are delivered like any other outcome, carrying the
+// context error.
+//
+// A nil eng runs the targets serially on the calling goroutine, delivering
+// each outcome as it is computed (and stopping early on a sink error).
+func Stream(ctx context.Context, eng *engine.Engine, targets []Experiment, opt Options, sink Sink) error {
 	if eng == nil {
 		opt.Engine = nil
-		for i, e := range targets {
-			outcomes[i] = Outcome{Experiment: e}
-			outcomes[i].Doc, outcomes[i].Err = e.Run(ctx, opt)
+		for _, e := range targets {
+			o := Outcome{Experiment: e}
+			o.Doc, o.Err = e.Run(ctx, opt)
+			if err := sink(o); err != nil {
+				return err
+			}
 		}
-		return outcomes
+		return nil
 	}
 
 	opt.Engine = eng
+	rel := &releaser{pending: make([]*Outcome, len(targets)), sink: sink}
 	jobs := make([]engine.Job, len(targets))
 	for i, e := range targets {
-		e := e
+		i, e := i, e
 		jobs[i] = engine.Job{
 			ID:  e.ID,
 			Key: cacheKey(e, opt),
 			Fn: func(ctx context.Context) (any, error) {
 				return e.Run(ctx, opt)
 			},
+			OnDone: func(r engine.Result) {
+				rel.release(i, outcomeOf(e, r))
+			},
 		}
 	}
-	for i, r := range eng.Run(ctx, jobs) {
-		outcomes[i] = Outcome{Experiment: targets[i], Cached: r.Cached, Err: r.Err}
-		if r.Err != nil {
-			continue
-		}
-		doc, ok := r.Value.(*report.Document)
-		if !ok {
-			outcomes[i].Err = fmt.Errorf("%s: unexpected result type %T", targets[i].ID, r.Value)
-			continue
-		}
-		outcomes[i].Doc = doc
-	}
+	eng.Run(ctx, jobs)
+	return rel.err()
+}
+
+// RunAll executes targets through eng and returns every outcome in target
+// order. It is the buffered form of Stream — same bytes when rendered,
+// whole-run latency — for callers that need the complete result set at
+// once. A nil eng runs the targets serially on the calling goroutine.
+func RunAll(ctx context.Context, eng *engine.Engine, targets []Experiment, opt Options) []Outcome {
+	outcomes := make([]Outcome, 0, len(targets))
+	// The collecting sink never errors, so every outcome — including
+	// errored and cancelled ones — is recorded, exactly as before the
+	// streaming refactor.
+	_ = Stream(ctx, eng, targets, opt, func(o Outcome) error {
+		outcomes = append(outcomes, o)
+		return nil
+	})
 	return outcomes
+}
+
+// outcomeOf converts one engine result into the experiment-level outcome.
+func outcomeOf(e Experiment, r engine.Result) Outcome {
+	o := Outcome{Experiment: e, Cached: r.Cached, Err: r.Err}
+	if r.Err != nil {
+		return o
+	}
+	doc, ok := r.Value.(*report.Document)
+	if !ok {
+		o.Err = fmt.Errorf("%s: unexpected result type %T", e.ID, r.Value)
+		return o
+	}
+	o.Doc = doc
+	return o
+}
+
+// releaser is the in-order release buffer behind Stream: completed
+// outcomes park under their target index until every earlier target has
+// been delivered, then flush to the sink in index order. One lock both
+// guards the buffer and serializes sink calls, so delivery order is total
+// no matter which engine worker finishes first.
+type releaser struct {
+	mu      sync.Mutex
+	pending []*Outcome
+	next    int // lowest target index not yet delivered
+	sink    Sink
+	sinkErr error
+	stopped bool
+}
+
+// release parks outcome i and flushes the contiguous ready prefix.
+func (r *releaser) release(i int, o Outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pending[i] = &o
+	for r.next < len(r.pending) && r.pending[r.next] != nil {
+		out := *r.pending[r.next]
+		r.pending[r.next] = nil // release the document as soon as it is sunk
+		r.next++
+		if r.stopped {
+			continue
+		}
+		if err := r.sink(out); err != nil {
+			r.sinkErr = err
+			r.stopped = true
+		}
+	}
+}
+
+// err returns the first sink error, once all jobs have resolved.
+func (r *releaser) err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErr
 }

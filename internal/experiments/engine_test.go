@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"mergescale/internal/engine"
+	"mergescale/internal/engine/diskcache"
+	"mergescale/internal/report"
 )
 
 // renderAll renders outcomes in order, failing on any experiment error.
@@ -139,5 +141,174 @@ func TestRunAllSubset(t *testing.T) {
 	// far more executions than the single experiment job.
 	if st.Executed < 10 {
 		t.Errorf("expected sweep sub-jobs on the engine, got %d executions", st.Executed)
+	}
+}
+
+// streamAll streams targets into a slice plus a markdown rendering, so
+// streamed and buffered runs can be compared both structurally and
+// byte-for-byte. It drives the exact renderer pipeline the CLI uses.
+func streamAll(t *testing.T, eng *engine.Engine, targets []Experiment, opt Options) ([]Outcome, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	r, err := report.NewRenderer("markdown", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	var outcomes []Outcome
+	streamErr := Stream(context.Background(), eng, targets, opt, func(o Outcome) error {
+		outcomes = append(outcomes, o)
+		if o.Err != nil {
+			return nil // recorded; keep streaming like RunAll does
+		}
+		return o.Doc.Replay(r)
+	})
+	if streamErr != nil {
+		t.Fatalf("stream: %v", streamErr)
+	}
+	if err := r.End(); err != nil {
+		t.Fatal(err)
+	}
+	return outcomes, buf.Bytes()
+}
+
+// markdownAll renders buffered outcomes through the same pipeline.
+func markdownAll(t *testing.T, outcomes []Outcome) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	r, err := report.NewRenderer("markdown", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.ID, o.Err)
+		}
+		if err := o.Doc.Replay(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.End(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamMatchesBuffered is the streaming determinism guarantee: the
+// sink receives outcomes in registry order and the streamed markdown is
+// byte-identical to a buffered RunAll rendering, across worker counts and
+// with the sweep-sharding engine attached (this test runs under -race in
+// CI, exercising the release buffer against concurrent OnDone callbacks).
+func TestStreamMatchesBuffered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	ctx := context.Background()
+	reg := Registry()
+	want := markdownAll(t, RunAll(ctx, nil, reg, quick))
+	for _, workers := range []int{1, 4, 8} {
+		eng := engine.New(engine.Config{Workers: workers})
+		outcomes, got := streamAll(t, eng, reg, quick)
+		if len(outcomes) != len(reg) {
+			t.Fatalf("workers=%d: streamed %d outcomes, want %d", workers, len(outcomes), len(reg))
+		}
+		for i, o := range outcomes {
+			if o.ID != reg[i].ID {
+				t.Fatalf("workers=%d: outcome %d is %s, want %s (stream out of order)", workers, i, o.ID, reg[i].ID)
+			}
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("workers=%d: streamed markdown differs from buffered (%d vs %d bytes)", workers, len(got), len(want))
+		}
+	}
+}
+
+// TestStreamSinkError: a failing sink stops delivery and surfaces through
+// Stream's return value; later outcomes never reach the sink.
+func TestStreamSinkError(t *testing.T) {
+	boom := errors.New("sink exploded")
+	targets := Registry()[:3]
+	for _, eng := range []*engine.Engine{nil, engine.New(engine.Config{Workers: 4})} {
+		calls := 0
+		err := Stream(context.Background(), eng, targets, quick, func(o Outcome) error {
+			calls++
+			return boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("Stream returned %v, want sink error", err)
+		}
+		if calls != 1 {
+			t.Fatalf("sink called %d times after erroring, want 1", calls)
+		}
+	}
+}
+
+// TestStreamCancellation: a cancelled context still delivers one outcome
+// per target, in order, each carrying the context error and no document.
+func TestStreamCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := engine.New(engine.Config{Workers: 4})
+	reg := Registry()
+	var outcomes []Outcome
+	if err := Stream(ctx, eng, reg, quick, func(o Outcome) error {
+		outcomes = append(outcomes, o)
+		return nil
+	}); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if len(outcomes) != len(reg) {
+		t.Fatalf("streamed %d outcomes, want %d", len(outcomes), len(reg))
+	}
+	for i, o := range outcomes {
+		if o.ID != reg[i].ID {
+			t.Errorf("outcome %d is %s, want %s", i, o.ID, reg[i].ID)
+		}
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", o.ID, o.Err)
+		}
+		if o.Doc != nil {
+			t.Errorf("%s: cancelled outcome carries a document", o.ID)
+		}
+	}
+}
+
+// TestStreamWarmDiskCacheRoundTrip round-trips streamed documents through
+// a warm persistent cache: a second streamed run from a fresh engine and
+// store over the same directory must execute nothing, serve every outcome
+// as cached, and render byte-identical markdown — proving the gob envelope
+// path and the streaming pipeline compose.
+func TestStreamWarmDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	target := []Experiment{Registry()[9]} // fig4: cheap, analytical, sharded
+	if target[0].ID != "fig4" {
+		t.Fatalf("registry order changed: got %s, want fig4", target[0].ID)
+	}
+
+	cold, err := diskcache.Open(dir, diskcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, coldMD := streamAll(t, engine.New(engine.Config{Workers: 2, Store: cold}), target, quick)
+
+	warm, err := diskcache.Open(dir, diskcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Workers: 2, Store: warm})
+	outcomes, warmMD := streamAll(t, eng, target, quick)
+	if !outcomes[0].Cached {
+		t.Error("warm streamed outcome not served from cache")
+	}
+	if got := eng.Stats().Executed; got != 0 {
+		t.Errorf("warm streamed run executed %d jobs, want 0", got)
+	}
+	if !bytes.Equal(coldMD, warmMD) {
+		t.Error("warm streamed markdown differs from cold")
 	}
 }

@@ -1,0 +1,49 @@
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// CSV writes every table in the document as CSV separated by blank lines —
+// the standalone replay into the csv backend (no trailing document
+// separator; the streaming form adds one between documents).
+func (d *Document) CSV(w io.Writer) error {
+	return d.Replay(&csvRenderer{w: w})
+}
+
+// csvRenderer is the machine-readable tables-only backend: each table as a
+// # title comment plus RFC-4180-ish rows, a blank line after each. Charts
+// and notes have no tabular form and are skipped; tables carry their own
+// titles, so consumers can locate sections without document framing. sep
+// adds the blank line that separates documents in a stream.
+type csvRenderer struct {
+	w   io.Writer
+	sep bool
+}
+
+func (r *csvRenderer) Begin() error { return nil }
+func (r *csvRenderer) End() error   { return nil }
+
+func (r *csvRenderer) Element(el Element) error {
+	switch el.Kind {
+	case ElemTable:
+		if _, err := fmt.Fprintf(r.w, "# %s\n", el.Table.Title); err != nil {
+			return err
+		}
+		if err := el.Table.CSV(r.w); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(r.w)
+		return err
+	case ElemEndDoc:
+		if !r.sep {
+			return nil
+		}
+		_, err := fmt.Fprintln(r.w)
+		return err
+	case ElemBeginDoc, ElemChart, ElemNote:
+		return nil
+	}
+	return fmt.Errorf("report: unknown element kind %d", el.Kind)
+}

@@ -1,6 +1,6 @@
 // Package report renders experiment output as ASCII tables, CSV, markdown,
-// and simple ASCII line charts, so every table and figure of the paper can
-// be regenerated on a terminal without plotting dependencies.
+// JSON, and simple ASCII line charts, so every table and figure of the
+// paper can be regenerated on a terminal without plotting dependencies.
 //
 // Document is the unit of experiment output: any number of tables and
 // charts plus free-form notes. Documents are plain exported data — no
@@ -8,4 +8,13 @@
 // be compared byte-for-byte across runs, and survive a gob round trip
 // through the engine's persistent disk cache unchanged (the experiments
 // package registers *Document with encoding/gob for exactly that path).
+//
+// Rendering is a streaming pipeline: a Document is a thin recorder that
+// Replay()s as a flat Element stream (ElemBeginDoc, tables, charts, notes,
+// ElemEndDoc) into any Renderer backend — text, markdown, json, or csv via
+// NewRenderer. Backends render incrementally and own all framing bytes, so
+// documents streamed one at a time as experiments complete produce output
+// byte-identical to a fully buffered run. The legacy whole-document
+// methods (Render, Markdown, CSV, JSON) are standalone replays into the
+// same backends.
 package report

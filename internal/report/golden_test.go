@@ -61,6 +61,8 @@ func render(t *testing.T, d *Document, format string) []byte {
 		err = d.CSV(&buf)
 	case "markdown":
 		err = d.Markdown(&buf)
+	case "json":
+		err = d.JSON(&buf)
 	default:
 		t.Fatalf("unknown format %q", format)
 	}
@@ -74,7 +76,7 @@ func render(t *testing.T, d *Document, format string) []byte {
 // testdata/. Regenerate with: go test ./internal/report -run Golden -update
 func TestGoldenRendering(t *testing.T) {
 	for _, d := range goldenDocs() {
-		for _, format := range []string{"text", "csv", "markdown"} {
+		for _, format := range []string{"text", "csv", "markdown", "json"} {
 			d, format := d, format
 			t.Run(d.ID+"/"+format, func(t *testing.T) {
 				got := render(t, d, format)

@@ -9,43 +9,60 @@ import (
 // Markdown writes the document as GitHub-flavored markdown: a heading per
 // document, pipe tables, ASCII charts inside fenced code blocks, and notes
 // as a bullet list. EXPERIMENTS.md and the golden tests consume this form.
+// It is the standalone replay into the markdown backend; because every
+// rendered block ends with a blank line, markdown documents self-separate
+// and the streaming form emits exactly the same bytes.
 func (d *Document) Markdown(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "## %s: %s\n\n", escapeMarkdown(d.ID), escapeMarkdown(d.Title)); err != nil {
+	return d.Replay(&markdownRenderer{w: w})
+}
+
+// markdownRenderer is the GFM backend. Its only state is whether the
+// current document has emitted a note bullet, which decides the blank line
+// closing the bullet list.
+type markdownRenderer struct {
+	w       io.Writer
+	sawNote bool
+}
+
+func (r *markdownRenderer) Begin() error { return nil }
+func (r *markdownRenderer) End() error   { return nil }
+
+func (r *markdownRenderer) Element(el Element) error {
+	switch el.Kind {
+	case ElemBeginDoc:
+		r.sawNote = false
+		_, err := fmt.Fprintf(r.w, "## %s: %s\n\n", escapeMarkdown(el.ID), escapeMarkdown(el.Title))
+		return err
+	case ElemTable:
+		if err := el.Table.Markdown(r.w); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(r.w)
+		return err
+	case ElemChart:
+		if _, err := fmt.Fprintln(r.w, "```"); err != nil {
+			return err
+		}
+		if err := el.Chart.Render(r.w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(r.w, "```"); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(r.w)
+		return err
+	case ElemNote:
+		r.sawNote = true
+		_, err := fmt.Fprintf(r.w, "- %s\n", escapeMarkdown(el.Note))
+		return err
+	case ElemEndDoc:
+		if !r.sawNote {
+			return nil
+		}
+		_, err := fmt.Fprintln(r.w)
 		return err
 	}
-	for _, t := range d.Tables {
-		if err := t.Markdown(w); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintln(w); err != nil {
-			return err
-		}
-	}
-	for _, c := range d.Charts {
-		if _, err := fmt.Fprintln(w, "```"); err != nil {
-			return err
-		}
-		if err := c.Render(w); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintln(w, "```"); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintln(w); err != nil {
-			return err
-		}
-	}
-	for _, n := range d.Notes {
-		if _, err := fmt.Fprintf(w, "- %s\n", escapeMarkdown(n)); err != nil {
-			return err
-		}
-	}
-	if len(d.Notes) > 0 {
-		if _, err := fmt.Fprintln(w); err != nil {
-			return err
-		}
-	}
-	return nil
+	return fmt.Errorf("report: unknown element kind %d", el.Kind)
 }
 
 // Markdown writes the table as a GFM pipe table preceded by its title in

@@ -265,49 +265,52 @@ func (d *Document) AddNote(format string, args ...interface{}) {
 	d.Notes = append(d.Notes, fmt.Sprintf(format, args...))
 }
 
-// Render writes the whole document.
+// Render writes the whole document in the fixed-width terminal form. It is
+// the standalone replay into the text backend (no trailing document
+// separator; the streaming form adds one between documents).
 func (d *Document) Render(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "== %s: %s ==\n\n", d.ID, d.Title); err != nil {
-		return err
-	}
-	for _, t := range d.Tables {
-		if err := t.Render(w); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintln(w); err != nil {
-			return err
-		}
-	}
-	for _, c := range d.Charts {
-		if err := c.Render(w); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintln(w); err != nil {
-			return err
-		}
-	}
-	for _, n := range d.Notes {
-		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
-			return err
-		}
-	}
-	return nil
+	return d.Replay(&textRenderer{w: w})
 }
 
-// CSV writes every table in the document as CSV separated by blank lines.
-func (d *Document) CSV(w io.Writer) error {
-	for _, t := range d.Tables {
-		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+// textRenderer is the fixed-width terminal backend: a == heading, aligned
+// tables, ASCII charts, and note: lines. sep adds the blank line that
+// separates (and trails) documents in a stream.
+type textRenderer struct {
+	w   io.Writer
+	sep bool
+}
+
+func (r *textRenderer) Begin() error { return nil }
+func (r *textRenderer) End() error   { return nil }
+
+func (r *textRenderer) Element(el Element) error {
+	switch el.Kind {
+	case ElemBeginDoc:
+		_, err := fmt.Fprintf(r.w, "== %s: %s ==\n\n", el.ID, el.Title)
+		return err
+	case ElemTable:
+		if err := el.Table.Render(r.w); err != nil {
 			return err
 		}
-		if err := t.CSV(w); err != nil {
+		_, err := fmt.Fprintln(r.w)
+		return err
+	case ElemChart:
+		if err := el.Chart.Render(r.w); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintln(w); err != nil {
-			return err
+		_, err := fmt.Fprintln(r.w)
+		return err
+	case ElemNote:
+		_, err := fmt.Fprintf(r.w, "note: %s\n", el.Note)
+		return err
+	case ElemEndDoc:
+		if !r.sep {
+			return nil
 		}
+		_, err := fmt.Fprintln(r.w)
+		return err
 	}
-	return nil
+	return fmt.Errorf("report: unknown element kind %d", el.Kind)
 }
 
 // SortedKeys returns the sorted keys of an int-keyed map — a helper used

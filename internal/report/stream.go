@@ -1,0 +1,119 @@
+package report
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+func init() {
+	// Elements are the unit of the streaming pipeline and may cross process
+	// boundaries inside gob envelopes (a store that persists streams rather
+	// than whole documents); per the disk-cache rules in
+	// docs/ARCHITECTURE.md the producing package registers the concrete
+	// type. Element is a value type with exported, pointer/map-free fields
+	// for the same reason.
+	gob.Register(Element{})
+}
+
+// ElementKind discriminates the items of a document stream.
+type ElementKind int
+
+const (
+	// ElemBeginDoc opens a document; ID and Title are set.
+	ElemBeginDoc ElementKind = iota
+	// ElemTable carries one table.
+	ElemTable
+	// ElemChart carries one chart.
+	ElemChart
+	// ElemNote carries one free-form note line.
+	ElemNote
+	// ElemEndDoc closes the current document.
+	ElemEndDoc
+)
+
+// Element is one item of a document stream. Exactly the fields named by
+// Kind are meaningful; the rest stay zero. Table and Chart are embedded by
+// value so an Element — like Document — is plain exported data that
+// survives a gob round trip unchanged.
+type Element struct {
+	Kind  ElementKind
+	ID    string // ElemBeginDoc
+	Title string // ElemBeginDoc
+	Table Table  // ElemTable
+	Chart Chart  // ElemChart
+	Note  string // ElemNote
+}
+
+// Renderer consumes an element stream incrementally. The contract: one
+// Begin, then for each document its elements in replay order (ElemBeginDoc,
+// tables, charts, notes, ElemEndDoc), then one End. Backends own every
+// output byte, including inter-document separation, so a caller that
+// replays documents one at a time as they complete produces output
+// byte-identical to a caller that buffered them all first.
+//
+// Renderers are single-use and not safe for concurrent use; callers
+// serialize Element calls (the experiments layer does so in its in-order
+// release buffer).
+type Renderer interface {
+	Begin() error
+	Element(Element) error
+	End() error
+}
+
+// Formats lists the backend names NewRenderer accepts.
+func Formats() []string { return []string{"text", "markdown", "json", "csv"} }
+
+// NewRenderer returns the streaming backend for format, writing to w:
+//
+//	text      fixed-width terminal tables and ASCII charts
+//	markdown  GitHub-flavored markdown (headings, pipe tables, fenced charts)
+//	json      one JSON array of document objects, one object per document
+//	csv       every table as RFC-4180-ish CSV, preceded by a # title comment
+//
+// The text, markdown, and csv streams separate documents with a blank line
+// (markdown documents end with one already, so no extra byte is emitted);
+// the json stream is framed as a single array.
+func NewRenderer(format string, w io.Writer) (Renderer, error) {
+	switch format {
+	case "text":
+		return &textRenderer{w: w, sep: true}, nil
+	case "markdown":
+		return &markdownRenderer{w: w}, nil
+	case "json":
+		return &jsonRenderer{w: w}, nil
+	case "csv":
+		return &csvRenderer{w: w, sep: true}, nil
+	default:
+		return nil, fmt.Errorf("report: unknown format %q (formats: %v)", format, Formats())
+	}
+}
+
+// Elements flattens the document into its element stream — begin, tables,
+// charts, notes, end — the replay order every backend renders in.
+func (d *Document) Elements() []Element {
+	els := make([]Element, 0, len(d.Tables)+len(d.Charts)+len(d.Notes)+2)
+	els = append(els, Element{Kind: ElemBeginDoc, ID: d.ID, Title: d.Title})
+	for _, t := range d.Tables {
+		els = append(els, Element{Kind: ElemTable, Table: *t})
+	}
+	for _, c := range d.Charts {
+		els = append(els, Element{Kind: ElemChart, Chart: *c})
+	}
+	for _, n := range d.Notes {
+		els = append(els, Element{Kind: ElemNote, Note: n})
+	}
+	return append(els, Element{Kind: ElemEndDoc})
+}
+
+// Replay feeds the document's elements through r. It emits only the
+// document's own elements — stream framing (Begin/End) belongs to the
+// caller driving the whole stream.
+func (d *Document) Replay(r Renderer) error {
+	for _, el := range d.Elements() {
+		if err := r.Element(el); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Runs the registry benchmarks and records the result as BENCH_engine.json
+# in the repo root, so the perf trajectory of the engine (serial vs
+# fanned-out full-registry regeneration) is tracked as data instead of
+# anecdotes. Run from anywhere; knobs via environment:
+#
+#   BENCH_PATTERN  benchmark regexp   (default BenchmarkRegistry — the
+#                  serial/engine pair; use . for the full suite)
+#   BENCH_TIME     -benchtime value   (default 1x: one full registry pass
+#                  per benchmark; raise to 3x/1s on quiet machines)
+#   BENCH_COUNT    -count value       (default 1)
+#
+# Note the CI/dev container exposes 1 CPU, where engine and serial times
+# converge (that delta is the fan-out overhead bound); judge speedups on
+# real multicore hardware (see TestRegistryEngineSpeedup).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern=${BENCH_PATTERN:-BenchmarkRegistry}
+benchtime=${BENCH_TIME:-1x}
+count=${BENCH_COUNT:-1}
+out=BENCH_engine.json
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== go test -bench $pattern (benchtime $benchtime, count $count) =="
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" -benchmem . | tee "$tmp"
+
+# Convert `BenchmarkName-P  iters  ns/op  B/op  allocs/op` lines into JSON.
+# (On 1-CPU machines go omits the -P suffix; fall back to the CPU count.)
+ncpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+awk -v goversion="$(go env GOVERSION)" -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" -v defprocs="$ncpu" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    procs = defprocs
+    if (name ~ /-[0-9]+$/) {
+        procs = name; sub(/^.*-/, "", procs)
+        sub(/-[0-9]+$/, "", name)
+    }
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    rec = sprintf("    {\"name\": \"%s\", \"procs\": %s, \"iterations\": %s, \"ns_per_op\": %s", name, procs, iters, ns)
+    if (bytes != "")  rec = rec sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") rec = rec sprintf(", \"allocs_per_op\": %s", allocs)
+    recs[n++] = rec "}"
+}
+END {
+    if (n == 0) { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    print "{"
+    printf "  \"go\": \"%s\",\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n", goversion, goos, goarch
+    print "  \"benchmarks\": ["
+    for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
+    print "  ]"
+    print "}"
+}' "$tmp" > "$out"
+
+echo "wrote $out:"
+cat "$out"

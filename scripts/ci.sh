@@ -34,4 +34,14 @@ cmp "$tmp/cold.out" "$tmp/warm.out"
 grep -q '0 executed' "$tmp/warm.stats"
 grep -q 'disk:' "$tmp/warm.stats"
 
+echo "== streamed vs buffered byte identity =="
+# The streaming pipeline must render exactly the bytes of a buffered run,
+# for every backend. The cache directory is warm from the gate above, so
+# these passes replay from disk in milliseconds.
+for format in text markdown json csv; do
+    "$tmp/mergescale" -quick -cachedir "$tmp/cache" -format "$format" run all > "$tmp/buffered.$format"
+    "$tmp/mergescale" -quick -cachedir "$tmp/cache" -format "$format" -stream run all > "$tmp/streamed.$format"
+    cmp "$tmp/buffered.$format" "$tmp/streamed.$format"
+done
+
 echo "CI OK"
