@@ -6,6 +6,8 @@
 //	mergescale [-quick] [-format F] [-stream] [-out FILE] [-duration]
 //	           [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] [-stats]
 //	           run <experiment-id>|all
+//	mergescale [-quick] [-duration] [-workers N] [-cachedir DIR]
+//	           [-cachettl D] [-nocache] serve [-addr HOST:PORT]
 //
 // Experiment ids follow the paper's artifact numbering (table1..table4,
 // fig2a..fig7) plus the abl-* ablations; see DESIGN.md for the index.
@@ -26,6 +28,12 @@
 // warm cache directory replays every artifact from disk without running a
 // single simulation. -cachettl expires entries by age; wall-clock
 // (-duration) results are never cached.
+//
+// The serve subcommand boots the HTTP front end (internal/serve) over the
+// same engine and cache: GET /run/{id|all}?format=F streams each
+// experiment's rendering over chunked transfer as it resolves, with every
+// concurrent client sharing one engine's singleflight and disk cache. See
+// docs/ARCHITECTURE.md "Serving".
 package main
 
 import (
@@ -34,13 +42,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"mergescale/internal/engine"
 	"mergescale/internal/engine/diskcache"
 	"mergescale/internal/experiments"
 	"mergescale/internal/report"
+	"mergescale/internal/serve"
 )
 
 func main() {
@@ -67,13 +80,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stats    = fs.Bool("stats", false, "print engine cache/worker statistics to stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mergescale [-quick] [-format F] [-stream] [-out FILE] [-duration] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] [-stats] run <id>|all\n       mergescale -list\n")
+		fmt.Fprintf(stderr, "usage: mergescale [-quick] [-format F] [-stream] [-out FILE] [-duration] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] [-stats] run <id>|all\n       mergescale [-quick] [-duration] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] serve [-addr HOST:PORT]\n       mergescale -list\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
+		return 2
+	}
+
+	// Negative values parse fine but mean nothing downstream (-workers -4
+	// would silently select GOMAXPROCS; a negative TTL would expire every
+	// disk entry on sight). Reject them up front.
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "mergescale: -workers must be >= 0 (got %d)\n", *workers)
+		return 2
+	}
+	if *cachettl < 0 {
+		fmt.Fprintf(stderr, "mergescale: -cachettl must be >= 0 (got %s)\n", *cachettl)
 		return 2
 	}
 
@@ -85,12 +110,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	rest := fs.Args()
+	if len(rest) >= 1 && rest[0] == "serve" {
+		// The rendering flags are per-request (format) or meaningless for a
+		// long-running server (stream, out, csv, stats); silently ignoring
+		// them would be the same bug as -csv vs -format. Reject them.
+		conflict := ""
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "format", "stream", "out", "csv", "stats":
+				if conflict == "" {
+					conflict = f.Name
+				}
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(stderr, "mergescale: -%s does not apply to serve (format is per-request: /run/{id}?format=F)\n", conflict)
+			return 2
+		}
+		return runServe(rest[1:], serveConfig{
+			quick:    *quickRun,
+			duration: *duration,
+			workers:  *workers,
+			cachedir: *cachedir,
+			cachettl: *cachettl,
+			nocache:  *nocache,
+		}, stderr)
+	}
 	if len(rest) != 2 || rest[0] != "run" {
 		fs.Usage()
 		return 2
 	}
 
-	if *csv && *format == "text" {
+	if *csv {
+		// -csv is a documented alias for -format=csv; combining it with a
+		// *different* -format is ambiguous, and silently letting one flag
+		// win would render the wrong backend. Reject the conflict.
+		if *format != "text" && *format != "csv" {
+			fmt.Fprintf(stderr, "mergescale: -csv conflicts with -format=%s (drop one; -csv means -format=csv)\n", *format)
+			return 2
+		}
 		*format = "csv"
 	}
 
@@ -195,6 +253,68 @@ func render(ctx context.Context, eng *engine.Engine, targets []experiments.Exper
 	}
 	if runErr != nil {
 		fmt.Fprintln(stderr, runErr)
+		return 1
+	}
+	return 0
+}
+
+// serveConfig carries the global flags the serve subcommand honors. The
+// rendering flags (-format, -stream, -out, -csv, -stats) are per-request
+// or meaningless for a server and are rejected before dispatch.
+type serveConfig struct {
+	quick    bool
+	duration bool
+	workers  int
+	cachedir string
+	cachettl time.Duration
+	nocache  bool
+}
+
+// runServe boots the HTTP front end over a shared engine + disk cache and
+// blocks until SIGINT/SIGTERM, then shuts down gracefully (in-flight
+// streams abort via their request contexts). The bound address is printed
+// to stderr once the listener is up, so -addr :0 callers (tests, CI) can
+// discover the ephemeral port.
+func runServe(args []string, cfg serveConfig, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mergescale serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "HTTP listen address (host:port; port 0 picks a free port)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "mergescale serve: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+
+	engCfg := engine.Config{Workers: cfg.workers, DisableCache: cfg.nocache}
+	var store *diskcache.Store
+	if cfg.cachedir != "" && !cfg.nocache {
+		s, err := diskcache.Open(cfg.cachedir, diskcache.Options{TTL: cfg.cachettl})
+		if err != nil {
+			fmt.Fprintf(stderr, "mergescale: disk cache disabled: %v\n", err)
+		} else {
+			store = s
+			engCfg.Store = s
+		}
+	}
+	srv := &serve.Server{
+		Engine: engine.New(engCfg),
+		Store:  store,
+		Opt:    experiments.Options{Quick: cfg.quick, UseDuration: cfg.duration},
+		Log:    log.New(stderr, "mergescale: ", 0),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
+		fmt.Fprintf(stderr, "mergescale: serving on http://%s\n", a)
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "mergescale: serve: %v\n", err)
 		return 1
 	}
 	return 0

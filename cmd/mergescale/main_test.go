@@ -194,6 +194,91 @@ func TestCSVFlagAlias(t *testing.T) {
 	}
 }
 
+// TestCSVFormatConflict: combining the -csv alias with a different
+// -format is ambiguous and must be rejected instead of silently letting
+// one flag win; -csv alone and the redundant -csv -format=csv keep
+// working.
+func TestCSVFormatConflict(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-csv", "-format", "json", "run", "table3"}, &out, &errOut); code != 2 {
+		t.Fatalf("-csv -format=json exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "conflicts") {
+		t.Fatalf("expected conflict error, got: %s", errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("conflicting flags still produced %d output bytes", out.Len())
+	}
+	errOut.Reset()
+	if code := run([]string{"-quick", "-csv", "-format", "csv", "run", "table3"}, &out, &errOut); code != 0 {
+		t.Fatalf("redundant -csv -format=csv exit code = %d, stderr: %s", code, errOut.String())
+	}
+}
+
+// TestNegativeWorkersRejected: a negative -workers would silently select
+// GOMAXPROCS; it must be a usage error instead.
+func TestNegativeWorkersRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-workers", "-2", "run", "table3"}, &out, &errOut); code != 2 {
+		t.Fatalf("-workers -2 exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-workers must be >= 0") {
+		t.Fatalf("expected -workers validation error, got: %s", errOut.String())
+	}
+}
+
+// TestNegativeCacheTTLRejected: a negative -cachettl would expire every
+// disk entry on sight; it must be a usage error instead.
+func TestNegativeCacheTTLRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-cachettl", "-1h", "run", "table3"}, &out, &errOut); code != 2 {
+		t.Fatalf("-cachettl -1h exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-cachettl must be >= 0") {
+		t.Fatalf("expected -cachettl validation error, got: %s", errOut.String())
+	}
+}
+
+// TestServeUsageErrors: the serve subcommand validates its own arguments
+// (and inherits the global flag validation) without booting a listener.
+func TestServeUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"serve", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("serve bogus exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unexpected arguments") {
+		t.Fatalf("expected unexpected-arguments error, got: %s", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-workers", "-1", "serve"}, &out, &errOut); code != 2 {
+		t.Fatalf("-workers -1 serve exit code = %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"serve", "-addr", "not-an-address"}, &out, &errOut); code != 1 {
+		t.Fatalf("serve -addr not-an-address exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "serve:") {
+		t.Fatalf("expected listen error, got: %s", errOut.String())
+	}
+	// Rendering flags are per-request over HTTP; combining them with serve
+	// must be rejected, not silently dropped.
+	for _, args := range [][]string{
+		{"-format", "json", "serve"},
+		{"-stream", "serve"},
+		{"-out", "x", "serve"},
+		{"-csv", "serve"},
+		{"-stats", "serve"},
+	} {
+		errOut.Reset()
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Fatalf("%v exit code = %d, want 2", args, code)
+		}
+		if !strings.Contains(errOut.String(), "does not apply to serve") {
+			t.Fatalf("%v: expected serve-conflict error, got: %s", args, errOut.String())
+		}
+	}
+}
+
 // TestUnknownFormat: a bad -format is a usage error before any work runs.
 func TestUnknownFormat(t *testing.T) {
 	var out, errOut bytes.Buffer

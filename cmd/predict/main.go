@@ -3,7 +3,14 @@
 //
 // Usage:
 //
-//	predict -f 0.99 -fcon 0.6 -fored 0.8 -growth linear [-budget 256] [-acmp] [-r 4] [-comm]
+//	predict -f 0.99 -fcon 0.6 -fored 0.8 -growth linear [-budget 256]
+//	        [-acmp] [-r 4] [-comm] [-format F] [-out FILE]
+//
+// -format selects the output backend, matching mergescale and simulate:
+// text (the default) keeps the classic aligned terminal sweep, while
+// markdown, json, and csv shape the sweep as a report.Document and render
+// it through the same streaming pipeline, so downstream consumers see one
+// schema across all three CLIs.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"os"
 
 	"mergescale/internal/core"
+	"mergescale/internal/report"
 )
 
 func main() {
@@ -26,14 +34,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		f      = fs.Float64("f", 0.99, "parallel fraction")
-		fcon   = fs.Float64("fcon", 0.60, "constant share of serial time [0,1]")
-		fored  = fs.Float64("fored", 0.80, "overhead share of the reduction part")
-		growth = fs.String("growth", "linear", "growth function: none | linear | log")
-		budget = fs.Int("budget", 256, "chip budget in BCEs")
-		acmp   = fs.Bool("acmp", false, "sweep asymmetric designs (rl on the x-axis)")
-		r      = fs.Float64("r", 1, "small-core size for -acmp sweeps")
-		comm   = fs.Bool("comm", false, "use the communication-aware model (Section V-E)")
+		f       = fs.Float64("f", 0.99, "parallel fraction")
+		fcon    = fs.Float64("fcon", 0.60, "constant share of serial time [0,1]")
+		fored   = fs.Float64("fored", 0.80, "overhead share of the reduction part")
+		growth  = fs.String("growth", "linear", "growth function: none | linear | log")
+		budget  = fs.Int("budget", 256, "chip budget in BCEs")
+		acmp    = fs.Bool("acmp", false, "sweep asymmetric designs (rl on the x-axis)")
+		r       = fs.Float64("r", 1, "small-core size for -acmp sweeps")
+		comm    = fs.Bool("comm", false, "use the communication-aware model (Section V-E)")
+		format  = fs.String("format", "text", "output format: text | markdown | json | csv")
+		outPath = fs.String("out", "", "write the report to this file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -54,6 +64,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	b := core.Budget{N: *budget}
 	if err := b.Validate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	// Fail on a bad -format before sweeping or truncating -out (os.Create
+	// would destroy the previous report file).
+	if _, err := report.NewRenderer(*format, io.Discard); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
@@ -78,17 +94,80 @@ func run(args []string, stdout, stderr io.Writer) int {
 		xname = "r"
 	}
 
-	fmt.Fprintf(stdout, "f=%.4f fcon=%.2f fored=%.2f growth=%s budget=%d BCEs\n", *f, *fcon, *fored, g, b.N)
-	fmt.Fprintf(stdout, "%6s  %10s\n", xname, "speedup")
+	out := stdout
+	var outFile *os.File
+	if *outPath != "" {
+		file, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "predict: %v\n", err)
+			return 1
+		}
+		outFile = file
+		out = file
+	}
+
+	code := 0
+	if *format == "text" {
+		printText(out, app, b, g, xname, pts, *acmp, *comm)
+	} else if err := report.RenderDocument(out, *format, sweepDocument(app, b, g, xname, pts, *acmp, *comm)); err != nil {
+		fmt.Fprintf(stderr, "predict: render: %v\n", err)
+		code = 1
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil && code == 0 {
+			fmt.Fprintf(stderr, "predict: %v\n", err)
+			code = 1
+		}
+	}
+	return code
+}
+
+// printText emits the classic aligned terminal sweep, byte-identical to
+// the pre-report predict output.
+func printText(out io.Writer, app core.AppParams, b core.Budget, g core.GrowthKind,
+	xname string, pts []core.SweepPoint, acmp, comm bool) {
+	fmt.Fprintf(out, "f=%.4f fcon=%.2f fored=%.2f growth=%s budget=%d BCEs\n", app.F, app.FCon, app.FOred, g, b.N)
+	fmt.Fprintf(out, "%6s  %10s\n", xname, "speedup")
 	for _, p := range pts {
-		fmt.Fprintf(stdout, "%6.0f  %10.2f\n", p.R, p.Speedup)
+		fmt.Fprintf(out, "%6.0f  %10.2f\n", p.R, p.Speedup)
 	}
 	if best, ok := core.Best(pts); ok {
-		fmt.Fprintf(stdout, "peak: speedup %.2f at %s=%.0f\n", best.Speedup, xname, best.R)
+		fmt.Fprintf(out, "peak: speedup %.2f at %s=%.0f\n", best.Speedup, xname, best.R)
 	}
-	if !*acmp && !*comm {
+	if !acmp && !comm {
 		opt := core.OptimalSymmetricR(app, b, 1e-3)
-		fmt.Fprintf(stdout, "continuous optimum: speedup %.2f at r=%.1f\n", opt.Speedup, opt.R)
+		fmt.Fprintf(out, "continuous optimum: speedup %.2f at r=%.1f\n", opt.Speedup, opt.R)
 	}
-	return 0
+}
+
+// sweepDocument shapes the sweep as a report.Document so the
+// markdown/json/csv backends render it through the same pipeline as the
+// paper artifacts and simulate runs.
+func sweepDocument(app core.AppParams, b core.Budget, g core.GrowthKind,
+	xname string, pts []core.SweepPoint, acmp, comm bool) *report.Document {
+	kind := "symmetric"
+	if acmp {
+		kind = "asymmetric"
+	}
+	model := "extended Amdahl"
+	if comm {
+		model = "communication-aware"
+	}
+	d := &report.Document{
+		ID:    "predict",
+		Title: fmt.Sprintf("%s %s sweep (%d BCEs)", kind, model, b.N),
+	}
+	t := d.AddTable("speedup sweep", xname, "speedup")
+	for _, p := range pts {
+		t.AddRow(fmt.Sprintf("%.0f", p.R), fmt.Sprintf("%.2f", p.Speedup))
+	}
+	if best, ok := core.Best(pts); ok {
+		d.AddNote("peak: speedup %.2f at %s=%.0f", best.Speedup, xname, best.R)
+	}
+	if !acmp && !comm {
+		opt := core.OptimalSymmetricR(app, b, 1e-3)
+		d.AddNote("continuous optimum: speedup %.2f at r=%.1f", opt.Speedup, opt.R)
+	}
+	d.AddNote("params: f=%.4f fcon=%.2f fored=%.2f growth=%s budget=%d BCEs", app.F, app.FCon, app.FOred, g, b.N)
+	return d
 }

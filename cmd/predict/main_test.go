@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -48,5 +51,95 @@ func TestACMPCommSweep(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "rl") {
 		t.Fatalf("asymmetric sweep output missing rl column:\n%s", out.String())
+	}
+}
+
+// TestFormatMarkdown: -format=markdown routes the sweep through the
+// report pipeline (document heading + pipe table), for parity with
+// mergescale and simulate.
+func TestFormatMarkdown(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-format", "markdown"}, &out, &errOut); code != 0 {
+		t.Fatalf("markdown run failed (%d): %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "## predict: ") {
+		t.Errorf("markdown heading missing:\n%.300s", out.String())
+	}
+	if !strings.Contains(out.String(), "| --- |") {
+		t.Error("markdown table separator missing")
+	}
+	if !strings.Contains(out.String(), "peak: speedup") {
+		t.Error("peak note missing from markdown output")
+	}
+}
+
+// TestFormatJSON: -format=json emits one parseable document array with
+// the sweep table.
+func TestFormatJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-format", "json", "-acmp", "-r", "4"}, &out, &errOut); code != 0 {
+		t.Fatalf("json run failed (%d): %s", code, errOut.String())
+	}
+	var docs []struct {
+		ID     string `json:"id"`
+		Tables []struct {
+			Columns []string `json:"columns"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &docs); err != nil {
+		t.Fatalf("json output does not parse: %v\n%.300s", err, out.String())
+	}
+	if len(docs) != 1 || docs[0].ID != "predict" {
+		t.Fatalf("json docs = %+v, want one predict document", docs)
+	}
+	if len(docs[0].Tables) != 1 || len(docs[0].Tables[0].Columns) == 0 || docs[0].Tables[0].Columns[0] != "rl" {
+		t.Fatalf("sweep table missing or mislabeled: %+v", docs[0].Tables)
+	}
+}
+
+// TestUnknownFormatPreservesOutFile: a -format typo is a usage error and
+// must not truncate an existing -out file.
+func TestUnknownFormatPreservesOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.md")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-format", "yaml", "-out", path}, &out, &errOut); code != 2 {
+		t.Fatalf("-format=yaml exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown format") {
+		t.Fatalf("expected unknown-format error, got: %s", errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "precious" {
+		t.Errorf("-out file was clobbered by a rejected run: %q", data)
+	}
+}
+
+// TestOutFile: -out writes the rendered report to the file and nothing to
+// stdout, matching the direct rendering byte for byte.
+func TestOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.csv")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-format", "csv", "-out", path}, &out, &errOut); code != 0 {
+		t.Fatalf("-out run failed: %s", errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("-out run still wrote %d bytes to stdout", out.Len())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if code := run([]string{"-format", "csv"}, &direct, &errOut); code != 0 {
+		t.Fatalf("direct run failed: %s", errOut.String())
+	}
+	if !bytes.Equal(data, direct.Bytes()) {
+		t.Error("-out file differs from stdout rendering")
 	}
 }

@@ -69,6 +69,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	_ = stream // single-document output is inherently incremental
 
+	// A negative TTL parses fine but would expire every disk entry on
+	// sight, turning the shared cache into a silent no-op. Reject it.
+	if *cachettl < 0 {
+		fmt.Fprintf(stderr, "simulate: -cachettl must be >= 0 (got %s)\n", *cachettl)
+		return 2
+	}
+
 	var w workload.Workload
 	switch *name {
 	case "kmeans":
@@ -143,7 +150,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	code := 0
 	if *format == "text" {
 		printText(out, w, ds, cfg, *scale, res)
-	} else if err := renderDoc(out, *format, simDocument(w, ds, cfg, *scale, res)); err != nil {
+	} else if err := report.RenderDocument(out, *format, simDocument(w, ds, cfg, *scale, res)); err != nil {
 		fmt.Fprintf(stderr, "simulate: render: %v\n", err)
 		code = 1
 	}
@@ -216,20 +223,4 @@ func simDocument(w workload.Workload, ds *datagen.Dataset, cfg sim.Config, scale
 	d.AddNote("machine: %d cores, L1 %dK/%d-way, L2 %dM/%d-way, MESI, 2D mesh",
 		cfg.Cores, cfg.L1Size>>10, cfg.L1Ways, cfg.L2Size>>20, cfg.L2Ways)
 	return d
-}
-
-// renderDoc streams the document through the chosen backend with full
-// stream framing, matching cmd/mergescale's output shape.
-func renderDoc(out io.Writer, format string, d *report.Document) error {
-	r, err := report.NewRenderer(format, out)
-	if err != nil {
-		return err
-	}
-	if err := r.Begin(); err != nil {
-		return err
-	}
-	if err := d.Replay(r); err != nil {
-		return err
-	}
-	return r.End()
 }

@@ -165,3 +165,15 @@ func TestBadFormatPreservesOutFile(t *testing.T) {
 		t.Errorf("-out file was clobbered by a rejected run: %q", data)
 	}
 }
+
+// TestNegativeCacheTTLRejected: a negative -cachettl would expire every
+// disk entry on sight; it must be a usage error before any simulation.
+func TestNegativeCacheTTLRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-cachettl", "-5m"}, &out, &errOut); code != 2 {
+		t.Fatalf("-cachettl -5m exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-cachettl must be >= 0") {
+		t.Fatalf("expected -cachettl validation error, got: %s", errOut.String())
+	}
+}

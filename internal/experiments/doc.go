@@ -11,6 +11,12 @@
 // sub-jobs inline when its pool is saturated, so nested submission never
 // deadlocks.
 //
+// Stream is the push-based form consumers build on (the CLIs, and one
+// sink per HTTP client in internal/serve): outcomes are released to the
+// sink in target order as jobs resolve, and a sink error cancels the
+// run's derived context so outstanding jobs stop computing for a
+// consumer that is gone.
+//
 // Caching rules. Every experiment job is keyed by cacheKey: the artifact
 // id plus each Options field that changes output. Options.Engine is
 // deliberately excluded — it affects scheduling, never results. Experiments

@@ -18,9 +18,12 @@ type Outcome struct {
 }
 
 // Sink consumes completed outcomes in target order. Returning a non-nil
-// error stops delivery — no later outcome reaches the sink and Stream
-// returns that error — but already-submitted engine jobs still run to
-// completion (their results are simply dropped).
+// error stops delivery — no later outcome reaches the sink, Stream returns
+// that error, and the run's derived context is cancelled so outstanding
+// engine jobs stop instead of computing results nobody will read (a
+// disconnected HTTP client must not keep burning simulator time).
+// Cancelled jobs are never persisted to the cache, so an aborted stream
+// cannot poison later runs.
 type Sink func(Outcome) error
 
 // Stream executes targets through eng and hands each outcome to sink as
@@ -53,8 +56,14 @@ func Stream(ctx context.Context, eng *engine.Engine, targets []Experiment, opt O
 		return nil
 	}
 
+	// Every job — including nested sub-jobs sharded from inside experiment
+	// functions via opt.Engine — runs under this derived context, so a sink
+	// error cancels the whole remaining run promptly.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	opt.Engine = eng
-	rel := &releaser{pending: make([]*Outcome, len(targets)), sink: sink}
+	rel := &releaser{pending: make([]*Outcome, len(targets)), sink: sink, cancel: cancel}
 	jobs := make([]engine.Job, len(targets))
 	for i, e := range targets {
 		i, e := i, e
@@ -116,6 +125,7 @@ type releaser struct {
 	sink    Sink
 	sinkErr error
 	stopped bool
+	cancel  context.CancelFunc // stops outstanding jobs on the first sink error
 }
 
 // release parks outcome i and flushes the contiguous ready prefix.
@@ -133,6 +143,13 @@ func (r *releaser) release(i int, o Outcome) {
 		if err := r.sink(out); err != nil {
 			r.sinkErr = err
 			r.stopped = true
+			if r.cancel != nil {
+				// Outstanding jobs would only produce dropped results from
+				// here on; cancel them so they stop burning compute. Their
+				// cancelled outcomes still flow through release (keeping the
+				// buffer's accounting exact) but never reach the sink.
+				r.cancel()
+			}
 		}
 	}
 }

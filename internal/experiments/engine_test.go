@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"mergescale/internal/engine"
 	"mergescale/internal/engine/diskcache"
@@ -245,6 +246,59 @@ func TestStreamSinkError(t *testing.T) {
 		if calls != 1 {
 			t.Fatalf("sink called %d times after erroring, want 1", calls)
 		}
+	}
+}
+
+// TestStreamSinkErrorCancelsOutstandingJobs: once a sink errors, jobs that
+// were already submitted must observe cancellation instead of running to
+// completion for a result nobody will read (the disconnected-HTTP-client
+// case). The slow target blocks until its context is cancelled; if the
+// sink error did not propagate, it would sit in its 10s fallback and the
+// test would time out.
+func TestStreamSinkErrorCancelsOutstandingJobs(t *testing.T) {
+	boom := errors.New("client gone")
+	slowStarted := make(chan struct{})
+	// fast completes only once slow is running, so the sink error (and the
+	// cancellation it triggers) always races against a job that is already
+	// in flight — the scenario under test — never one the engine can skip
+	// with its pre-execution ctx check.
+	fast := Experiment{ID: "fake-fast", Title: "fast", Run: func(ctx context.Context, opt Options) (*report.Document, error) {
+		<-slowStarted
+		return &report.Document{ID: "fake-fast", Title: "fast"}, nil
+	}}
+	slowObserved := make(chan error, 1)
+	slow := Experiment{ID: "fake-slow", Title: "slow", Run: func(ctx context.Context, opt Options) (*report.Document, error) {
+		close(slowStarted)
+		select {
+		case <-ctx.Done():
+			slowObserved <- ctx.Err()
+			return nil, ctx.Err()
+		case <-time.After(10 * time.Second):
+			err := errors.New("job outlived the sink error")
+			slowObserved <- err
+			return nil, err
+		}
+	}}
+
+	eng := engine.New(engine.Config{Workers: 2})
+	calls := 0
+	err := Stream(context.Background(), eng, []Experiment{fast, slow}, quick, func(o Outcome) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Stream returned %v, want sink error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("sink called %d times, want 1", calls)
+	}
+	select {
+	case observed := <-slowObserved:
+		if !errors.Is(observed, context.Canceled) {
+			t.Fatalf("outstanding job observed %v, want context.Canceled", observed)
+		}
+	default:
+		t.Fatal("outstanding job never ran (test setup assumed it was submitted)")
 	}
 }
 

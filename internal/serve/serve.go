@@ -1,0 +1,322 @@
+// Package serve is the HTTP serving front end over the streaming
+// experiment pipeline: one process owns a shared engine.Engine (and
+// optionally a diskcache.Store underneath it), and every HTTP client gets
+// its own experiments.Stream sink writing straight into the chunked
+// response body. Concurrent identical requests collapse into one
+// computation via the engine's singleflight cache, a warm disk cache
+// serves whole runs without executing a single job, and a client that
+// disconnects mid-stream cancels its outstanding jobs through the
+// request context (and through the sink-error cancellation in
+// experiments.Stream), so abandoned requests stop burning simulator time.
+//
+// Endpoints:
+//
+//	GET /healthz               liveness probe ("ok")
+//	GET /experiments           registry listing as JSON
+//	GET /run/{id|all}?format=F stream rendered experiment output (chunked)
+//	GET /stats                 engine + disk-cache counters as JSON
+//
+// The /run body is byte-identical to the mergescale CLI's buffered output
+// for the same format: the handler drives the exact renderer pipeline the
+// CLI uses, flushing after each experiment so clients see artifacts as
+// they resolve, in registry order.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"mergescale/internal/engine"
+	"mergescale/internal/engine/diskcache"
+	"mergescale/internal/experiments"
+	"mergescale/internal/report"
+)
+
+// Server wires a shared engine (and optional persistent store) behind the
+// HTTP handlers. Fields are read-only after the first request.
+type Server struct {
+	// Engine executes and caches experiment jobs. Required.
+	Engine *engine.Engine
+	// Store, when non-nil, enriches /stats with disk-cache counters. It is
+	// informational here — the engine already consults the store through
+	// its own Config.Store wiring.
+	Store *diskcache.Store
+	// Opt is applied to every run (Quick, UseDuration). Opt.Engine is
+	// overwritten per request by experiments.Stream.
+	Opt experiments.Options
+	// Experiments is the registry served; nil selects
+	// experiments.Registry().
+	Experiments []experiments.Experiment
+	// Log receives request errors; nil discards them.
+	Log *log.Logger
+}
+
+// registry returns the experiment set this server exposes.
+func (s *Server) registry() []experiments.Experiment {
+	if s.Experiments != nil {
+		return s.Experiments
+	}
+	return experiments.Registry()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Log != nil {
+		s.Log.Printf(format, args...)
+	}
+}
+
+// Handler builds the route table. The returned handler is safe for
+// concurrent use; every /run request gets its own renderer and sink.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /experiments", s.handleExperiments)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /run/{target}", s.handleRun)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// experimentInfo is one row of the /experiments listing.
+type experimentInfo struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Timing bool   `json:"timing,omitempty"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry()
+	infos := make([]experimentInfo, len(reg))
+	for i, e := range reg {
+		infos[i] = experimentInfo{ID: e.ID, Title: e.Title, Timing: e.Timing}
+	}
+	s.writeJSON(w, infos)
+}
+
+// engineStats mirrors engine.Stats with stable lowercase JSON names, so
+// the /stats wire format is independent of Go field renames.
+type engineStats struct {
+	Workers     int    `json:"workers"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Executed    uint64 `json:"executed"`
+	Inline      uint64 `json:"inline"`
+	StoreHits   uint64 `json:"storeHits"`
+	StoreMisses uint64 `json:"storeMisses"`
+}
+
+// diskStats mirrors diskcache.Stats plus the store's current footprint.
+type diskStats struct {
+	Dir       string `json:"dir"`
+	Puts      uint64 `json:"puts"`
+	PutSkips  uint64 `json:"putSkips"`
+	Evictions uint64 `json:"evictions"`
+	Expired   uint64 `json:"expired"`
+	Dropped   uint64 `json:"dropped"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// statsPayload is the /stats response body.
+type statsPayload struct {
+	Engine engineStats `json:"engine"`
+	Disk   *diskStats  `json:"disk,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.Engine.Stats()
+	payload := statsPayload{Engine: engineStats{
+		Workers:     s.Engine.Workers(),
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Executed:    st.Executed,
+		Inline:      st.Inline,
+		StoreHits:   st.StoreHits,
+		StoreMisses: st.StoreMisses,
+	}}
+	if s.Store != nil {
+		ds := s.Store.Stats()
+		entries, bytes := s.Store.Size()
+		payload.Disk = &diskStats{
+			Dir:       s.Store.Dir(),
+			Puts:      ds.Puts,
+			PutSkips:  ds.PutSkips,
+			Evictions: ds.Evictions,
+			Expired:   ds.Expired,
+			Dropped:   ds.Dropped,
+			Entries:   entries,
+			Bytes:     bytes,
+		}
+	}
+	s.writeJSON(w, payload)
+}
+
+// contentTypes maps report formats to their response media type.
+var contentTypes = map[string]string{
+	"text":     "text/plain; charset=utf-8",
+	"markdown": "text/markdown; charset=utf-8",
+	"json":     "application/json",
+	"csv":      "text/csv; charset=utf-8",
+}
+
+// countingWriter tracks whether any body byte has reached the response,
+// deciding between a clean 500 and a connection abort on stream errors.
+type countingWriter struct {
+	w     io.Writer
+	wrote bool
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if len(p) > 0 {
+		c.wrote = true
+	}
+	return c.w.Write(p)
+}
+
+// handleRun streams one experiment (or the whole registry) through the
+// requested renderer backend. The response is chunked: each experiment's
+// rendering is flushed the moment experiments.Stream releases it, so the
+// client reads artifacts incrementally while later ones still compute.
+// Errors before the first body byte (an immediately failing experiment, a
+// renderer that errors on Begin) still get a clean 500; errors after the
+// first byte abort the connection (http.ErrAbortHandler) — a truncated
+// chunked body is the HTTP-visible form of a failed stream, and is
+// preferable to a silently incomplete document with a clean terminator.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	target := r.PathValue("target")
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "text"
+	}
+	// Validate the format before resolving targets or writing headers, so
+	// bad requests get a clean 400 instead of half a response.
+	if _, err := report.NewRenderer(format, io.Discard); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	var targets []experiments.Experiment
+	if target == "all" {
+		targets = s.registry()
+	} else {
+		found := false
+		for _, e := range s.registry() {
+			if e.ID == target {
+				targets = []experiments.Experiment{e}
+				found = true
+				break
+			}
+		}
+		if !found {
+			http.Error(w, fmt.Sprintf("unknown experiment %q (see /experiments)", target), http.StatusNotFound)
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", contentTypes[format])
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	body := &countingWriter{w: w}
+	renderer, err := report.NewRenderer(format, body)
+	if err != nil {
+		// Unreachable: the format was validated above.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+
+	streamErr := renderer.Begin()
+	if streamErr == nil {
+		// One sink per client: the release buffer inside Stream serializes
+		// sink calls, and a slow client applies backpressure through its
+		// connection without stalling other requests (each request drives
+		// its own Stream). The request context cancels on disconnect, and a
+		// mid-stream write error additionally cancels outstanding jobs via
+		// Stream's sink-error cancellation.
+		streamErr = experiments.Stream(r.Context(), s.Engine, targets, s.Opt, func(o experiments.Outcome) error {
+			if o.Err != nil {
+				return fmt.Errorf("%s: %w", o.ID, o.Err)
+			}
+			if err := o.Doc.Replay(renderer); err != nil {
+				return fmt.Errorf("%s: render: %w", o.ID, err)
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+	}
+	if streamErr == nil {
+		streamErr = renderer.End()
+	}
+	if streamErr != nil {
+		s.logf("serve: run %s format=%s: %v", target, format, streamErr)
+		if !body.wrote {
+			// The status line hasn't been forced out by body bytes yet, so
+			// the client can still get a proper error response.
+			http.Error(w, streamErr.Error(), http.StatusInternalServerError)
+			return
+		}
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// writeJSON renders v with a trailing newline (curl-friendly).
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		s.logf("serve: encode: %v", err)
+	}
+}
+
+// shutdownGrace bounds how long ListenAndServe waits for in-flight
+// requests after its context is cancelled. Request contexts derive from
+// the serve context, so streams abort almost immediately; the grace period
+// only covers flushing their final bytes.
+const shutdownGrace = 5 * time.Second
+
+// ListenAndServe binds addr (use host:0 for an ephemeral port), reports
+// the bound address through ready (if non-nil), and serves until ctx is
+// cancelled, then shuts down gracefully: the listener closes, in-flight
+// request contexts cancel (cancelling their engine jobs), and remaining
+// responses get shutdownGrace to flush. It returns nil on a clean
+// ctx-driven shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler: s.Handler(),
+		// Tie every request context to the serve context so cancelling the
+		// server cancels in-flight engine jobs, not just the listener.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			srv.Close()
+		}
+		<-errc // always http.ErrServerClosed after Shutdown/Close
+		return nil
+	}
+}

@@ -44,4 +44,36 @@ for format in text markdown json csv; do
     cmp "$tmp/buffered.$format" "$tmp/streamed.$format"
 done
 
+echo "== HTTP serving front end =="
+# Boot the server on an ephemeral port over the warm cache directory,
+# fetch run/all over chunked HTTP, and require byte identity with the
+# CLI's buffered output plus zero executed jobs (/stats counts since
+# boot, so a warm disk cache must satisfy the whole run).
+serve_pid=""
+trap '[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+"$tmp/mergescale" -quick -cachedir "$tmp/cache" serve -addr 127.0.0.1:0 2> "$tmp/serve.log" &
+serve_pid=$!
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's#.*serving on http://##p' "$tmp/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "server did not come up:" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+curl -sfS "http://$addr/healthz" > /dev/null
+curl -sfS "http://$addr/run/all" > "$tmp/http.out"
+cmp "$tmp/buffered.text" "$tmp/http.out"
+curl -sfS "http://$addr/stats" > "$tmp/stats.json"
+grep -q '"executed":0' "$tmp/stats.json"
+grep -q '"storeHits":' "$tmp/stats.json"
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
 echo "CI OK"
