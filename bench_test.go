@@ -188,6 +188,35 @@ func BenchmarkSimulatorKMeans16(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorKMeans16Pooled is BenchmarkSimulatorKMeans16 drawing
+// machines from the machine pool (the path engine jobs take via
+// workload.RunSim) instead of constructing one per run.
+func BenchmarkSimulatorKMeans16Pooled(b *testing.B) {
+	w := kmeans.New()
+	w.Cfg.Iters = 3
+	ds, err := datagen.Generate(datagen.Spec{Label: "bench", N: 4096, D: 9, C: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(16)
+	prog, err := w.BuildProgram(ds, cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.AcquireMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+		m.Release()
+	}
+}
+
 // BenchmarkNativeKMeans measures the native parallel kmeans iteration.
 func BenchmarkNativeKMeans(b *testing.B) {
 	ds, err := datagen.Generate(datagen.Spec{Label: "bench", N: 8192, D: 9, C: 8, Seed: 2})

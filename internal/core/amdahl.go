@@ -44,6 +44,12 @@ func (d SymDesign) Validate() error {
 	return nil
 }
 
+// Valid reports whether the design passes Validate, without building the
+// error (the sweep hot loops probe many invalid grid edges per run).
+func (d SymDesign) Valid() bool {
+	return d.Budget.N > 0 && d.R >= 1 && d.R <= float64(d.Budget.N)
+}
+
 // AsymDesign is an asymmetric CMP design point: one large core of RL BCEs
 // plus (N-RL)/R small cores of R BCEs each.
 type AsymDesign struct {
@@ -74,6 +80,12 @@ func (d AsymDesign) Validate() error {
 		return fmt.Errorf("core: design rl=%g r=%g leaves %.2f small cores", d.RL, d.R, d.SmallCores())
 	}
 	return nil
+}
+
+// Valid is the allocation-free form of Validate for the sweep hot loops.
+func (d AsymDesign) Valid() bool {
+	return d.Budget.N > 0 && d.RL >= 1 && d.RL <= float64(d.Budget.N) &&
+		d.R >= 1 && d.SmallCores() >= 1
 }
 
 // Amdahl returns the classic Amdahl's Law speedup (Eq. 1) for parallel

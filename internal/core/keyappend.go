@@ -1,0 +1,49 @@
+package core
+
+import "strconv"
+
+// This file implements engine.KeyAppender for every core type that flows
+// into engine cache keys (the sweep key functions in sweep_parallel.go),
+// replacing fmt %#v reflection on the sweep hot path. Each AppendKey MUST
+// produce bytes identical to fmt.Sprintf("%#v", v) — the differential
+// tests in keyappend_test.go lock the equivalence — because the bytes are
+// hashed into persistent disk-cache keys.
+
+// AppendKey appends the Go-syntax rendering of the parameters.
+func (a AppParams) AppendKey(b []byte) []byte {
+	b = append(b, "core.AppParams{Name:"...)
+	b = strconv.AppendQuote(b, a.Name)
+	b = append(b, ", F:"...)
+	b = strconv.AppendFloat(b, a.F, 'g', -1, 64)
+	b = append(b, ", FCon:"...)
+	b = strconv.AppendFloat(b, a.FCon, 'g', -1, 64)
+	b = append(b, ", FOred:"...)
+	b = strconv.AppendFloat(b, a.FOred, 'g', -1, 64)
+	b = append(b, ", Growth:"...)
+	b = strconv.AppendInt(b, int64(a.Growth), 10)
+	return append(b, '}')
+}
+
+// AppendKey appends the Go-syntax rendering of the budget.
+func (bgt Budget) AppendKey(b []byte) []byte {
+	b = append(b, "core.Budget{N:"...)
+	b = strconv.AppendInt(b, int64(bgt.N), 10)
+	return append(b, '}')
+}
+
+// AppendKey appends the Go-syntax rendering of the model. The embedded
+// AppParams renders exactly as its own AppendKey (%#v nests struct values
+// in full Go syntax).
+func (m CommModel) AppendKey(b []byte) []byte {
+	b = append(b, "core.CommModel{App:"...)
+	b = m.App.AppendKey(b)
+	b = append(b, ", Impl:"...)
+	b = strconv.AppendInt(b, int64(m.Impl), 10)
+	b = append(b, ", Network:"...)
+	b = strconv.AppendInt(b, int64(m.Network), 10)
+	b = append(b, ", Elements:"...)
+	b = strconv.AppendInt(b, int64(m.Elements), 10)
+	b = append(b, ", Exact:"...)
+	b = strconv.AppendBool(b, m.Exact)
+	return append(b, '}')
+}

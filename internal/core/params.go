@@ -116,7 +116,7 @@ func TableIIIClasses() []AppClass {
 		return AppClass{
 			Parallelism: par, Constant: con, Reduction: red,
 			Params: AppParams{
-				Name: fmt.Sprintf("%s-%scon-%sred", par, con, red),
+				Name: par + "-" + con + "con-" + red + "red",
 				F:    f, FCon: fcon, FOred: fored, Growth: GrowthLinear,
 			},
 		}

@@ -14,7 +14,11 @@ type SweepPoint struct {
 // PowerOfTwoRs returns the sweep grid {1, 2, 4, ..., n} used on the x-axis
 // of Figures 4, 5 and 7.
 func PowerOfTwoRs(n int) []float64 {
-	var rs []float64
+	count := 0
+	for r := 1; r <= n; r *= 2 {
+		count++
+	}
+	rs := make([]float64, 0, count)
 	for r := 1; r <= n; r *= 2 {
 		rs = append(rs, float64(r))
 	}
@@ -26,7 +30,7 @@ func SweepSymmetric(app AppParams, b Budget, rs []float64) []SweepPoint {
 	pts := make([]SweepPoint, 0, len(rs))
 	for _, r := range rs {
 		d := SymDesign{Budget: b, R: r}
-		if d.Validate() != nil {
+		if !d.Valid() {
 			continue
 		}
 		pts = append(pts, SweepPoint{R: r, Speedup: SpeedupCMP(app, d)})
@@ -41,7 +45,7 @@ func SweepAsymmetric(app AppParams, b Budget, rls []float64, r float64) []SweepP
 	pts := make([]SweepPoint, 0, len(rls))
 	for _, rl := range rls {
 		d := AsymDesign{Budget: b, RL: rl, R: r}
-		if d.Validate() != nil {
+		if !d.Valid() {
 			continue
 		}
 		pts = append(pts, SweepPoint{R: rl, Speedup: SpeedupACMP(app, d)})
@@ -55,7 +59,7 @@ func SweepSymmetricComm(m CommModel, b Budget, rs []float64) []SweepPoint {
 	pts := make([]SweepPoint, 0, len(rs))
 	for _, r := range rs {
 		d := SymDesign{Budget: b, R: r}
-		if d.Validate() != nil {
+		if !d.Valid() {
 			continue
 		}
 		pts = append(pts, SweepPoint{R: r, Speedup: m.SpeedupCMP(d)})
@@ -68,7 +72,7 @@ func SweepAsymmetricComm(m CommModel, b Budget, rls []float64, r float64) []Swee
 	pts := make([]SweepPoint, 0, len(rls))
 	for _, rl := range rls {
 		d := AsymDesign{Budget: b, RL: rl, R: r}
-		if d.Validate() != nil {
+		if !d.Valid() {
 			continue
 		}
 		pts = append(pts, SweepPoint{R: rl, Speedup: m.SpeedupACMP(d)})
@@ -109,7 +113,7 @@ func OptimalAsymmetricRL(app AppParams, b Budget, r, tol float64) SweepPoint {
 	hi := float64(b.N) - r // keep at least one small core
 	f := func(rl float64) float64 {
 		d := AsymDesign{Budget: b, RL: rl, R: r}
-		if d.Validate() != nil {
+		if !d.Valid() {
 			return 0
 		}
 		return SpeedupACMP(app, d)

@@ -3,48 +3,91 @@ package core
 import (
 	"context"
 	"encoding/gob"
+	"fmt"
+	"strconv"
 
 	"mergescale/internal/engine"
 )
 
 func init() {
-	// Sweep evaluations cross the engine's persistent store inside gob
-	// envelopes; the type is unexported but gob only needs a stable
-	// registered name, and both sides of the cache are this package.
-	gob.Register(sweepEval{})
+	// Batched sweep results cross the engine's persistent store inside gob
+	// envelopes; the element type is exported but the slice needs its own
+	// registration, and both sides of the cache are this package.
+	gob.Register([]SweepPoint(nil))
 }
 
 // This file contains the engine-backed forms of the design-space sweeps:
-// each grid point becomes one engine sub-job, so a sweep sharded from
-// inside an experiment job fans out across the worker pool, and repeated
-// design points (the same app/budget/r tuple appearing in several panels
-// or repeated runs) are computed once via the config-hash cache.
+// each sweep (one grid over one app/budget tuple) becomes one engine job,
+// so sweeps sharded from inside experiment jobs fan out across the worker
+// pool, and a repeated sweep (the same series appearing in several panels
+// or repeated runs) is computed once via the config-hash cache.
+//
+// Granularity note: earlier revisions submitted one job per grid POINT.
+// A design point is a few microseconds of pure arithmetic, so per-point
+// jobs were pure overhead — key building, singleflight bookkeeping and
+// result boxing dominated the model evaluation by an order of magnitude
+// (measured in BENCH_engine.json). Batching the grid into one job removed
+// that overhead while keeping sweeps parallel across series and cached/
+// deduplicated at the granularity experiments actually share.
 //
 // The serial functions in sweep.go remain the reference implementation;
 // every engine variant falls back to them when eng is nil, and the tests
 // assert point-for-point equality between the two paths.
 
-// sweepPointJob evaluates one design point, preserving the serial sweeps'
+// sweepEval is one evaluated grid value, preserving the serial sweeps'
 // behavior of skipping invalid designs (signalled by ok=false).
 type sweepEval struct {
 	Point SweepPoint
 	OK    bool
 }
 
-// runSweep fans one evaluation per grid value through the engine and
-// collects valid points in grid order.
-func runSweep(ctx context.Context, eng *engine.Engine, grid []float64, key func(float64) string, eval func(float64) sweepEval) ([]SweepPoint, error) {
-	evals, err := engine.Map(ctx, eng, grid, key, func(_ context.Context, v float64) (sweepEval, error) {
-		return eval(v), nil
-	})
-	if err != nil {
-		return nil, err
+// gridKey makes a sweep grid key-appendable (engine.KeyAppender) so the
+// batched sweep key can cover the exact grid without fmt reflection. The
+// encoding matches %#v, per the KeyAppender contract.
+type gridKey []float64
+
+// AppendKey appends the Go-syntax rendering of the grid.
+func (g gridKey) AppendKey(b []byte) []byte {
+	if g == nil {
+		return append(b, "core.gridKey(nil)"...)
 	}
-	pts := make([]SweepPoint, 0, len(grid))
-	for _, ev := range evals {
-		if ev.OK {
-			pts = append(pts, ev.Point)
+	b = append(b, "core.gridKey{"...)
+	for i, v := range g {
+		if i > 0 {
+			b = append(b, ", "...)
 		}
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+	return append(b, '}')
+}
+
+// runSweep evaluates the whole grid as one engine job and returns the
+// valid points in grid order. The job honours ctx between points, so a
+// cancelled sweep aborts promptly and (like any cancelled job) is never
+// cached.
+func runSweep(ctx context.Context, eng *engine.Engine, id, key string, grid []float64, eval func(float64) sweepEval) ([]SweepPoint, error) {
+	r := eng.RunOne(ctx, engine.Job{
+		ID:  id,
+		Key: key,
+		Fn: func(ctx context.Context) (any, error) {
+			pts := make([]SweepPoint, 0, len(grid))
+			for _, v := range grid {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				if ev := eval(v); ev.OK {
+					pts = append(pts, ev.Point)
+				}
+			}
+			return pts, nil
+		},
+	})
+	if r.Err != nil {
+		return nil, fmt.Errorf("%s: %w", id, r.Err)
+	}
+	pts, ok := r.Value.([]SweepPoint)
+	if !ok {
+		return nil, fmt.Errorf("%s: unexpected cached result type %T", id, r.Value)
 	}
 	return pts, nil
 }
@@ -55,11 +98,15 @@ func SweepSymmetricEngine(ctx context.Context, eng *engine.Engine, app AppParams
 	if eng == nil {
 		return SweepSymmetric(app, b, rs), nil
 	}
-	return runSweep(ctx, eng, rs,
-		func(r float64) string { return engine.Key("sweep-sym", app, b, r) },
+	w := engine.AcquireKeyWriter()
+	w.WriteString("sweep-sym")
+	engine.WriteAppender(w, app)
+	engine.WriteAppender(w, b)
+	engine.WriteAppender(w, gridKey(rs))
+	return runSweep(ctx, eng, "sweep-sym", w.SumRelease(), rs,
 		func(r float64) sweepEval {
 			d := SymDesign{Budget: b, R: r}
-			if d.Validate() != nil {
+			if !d.Valid() {
 				return sweepEval{}
 			}
 			return sweepEval{Point: SweepPoint{R: r, Speedup: SpeedupCMP(app, d)}, OK: true}
@@ -71,11 +118,16 @@ func SweepAsymmetricEngine(ctx context.Context, eng *engine.Engine, app AppParam
 	if eng == nil {
 		return SweepAsymmetric(app, b, rls, r), nil
 	}
-	return runSweep(ctx, eng, rls,
-		func(rl float64) string { return engine.Key("sweep-asym", app, b, rl, r) },
+	w := engine.AcquireKeyWriter()
+	w.WriteString("sweep-asym")
+	engine.WriteAppender(w, app)
+	engine.WriteAppender(w, b)
+	engine.WriteAppender(w, gridKey(rls))
+	w.WriteFloat64(r)
+	return runSweep(ctx, eng, "sweep-asym", w.SumRelease(), rls,
 		func(rl float64) sweepEval {
 			d := AsymDesign{Budget: b, RL: rl, R: r}
-			if d.Validate() != nil {
+			if !d.Valid() {
 				return sweepEval{}
 			}
 			return sweepEval{Point: SweepPoint{R: rl, Speedup: SpeedupACMP(app, d)}, OK: true}
@@ -87,11 +139,15 @@ func SweepSymmetricCommEngine(ctx context.Context, eng *engine.Engine, m CommMod
 	if eng == nil {
 		return SweepSymmetricComm(m, b, rs), nil
 	}
-	return runSweep(ctx, eng, rs,
-		func(r float64) string { return engine.Key("sweep-sym-comm", m, b, r) },
+	w := engine.AcquireKeyWriter()
+	w.WriteString("sweep-sym-comm")
+	engine.WriteAppender(w, m)
+	engine.WriteAppender(w, b)
+	engine.WriteAppender(w, gridKey(rs))
+	return runSweep(ctx, eng, "sweep-sym-comm", w.SumRelease(), rs,
 		func(r float64) sweepEval {
 			d := SymDesign{Budget: b, R: r}
-			if d.Validate() != nil {
+			if !d.Valid() {
 				return sweepEval{}
 			}
 			return sweepEval{Point: SweepPoint{R: r, Speedup: m.SpeedupCMP(d)}, OK: true}
@@ -103,11 +159,16 @@ func SweepAsymmetricCommEngine(ctx context.Context, eng *engine.Engine, m CommMo
 	if eng == nil {
 		return SweepAsymmetricComm(m, b, rls, r), nil
 	}
-	return runSweep(ctx, eng, rls,
-		func(rl float64) string { return engine.Key("sweep-asym-comm", m, b, rl, r) },
+	w := engine.AcquireKeyWriter()
+	w.WriteString("sweep-asym-comm")
+	engine.WriteAppender(w, m)
+	engine.WriteAppender(w, b)
+	engine.WriteAppender(w, gridKey(rls))
+	w.WriteFloat64(r)
+	return runSweep(ctx, eng, "sweep-asym-comm", w.SumRelease(), rls,
 		func(rl float64) sweepEval {
 			d := AsymDesign{Budget: b, RL: rl, R: r}
-			if d.Validate() != nil {
+			if !d.Valid() {
 				return sweepEval{}
 			}
 			return sweepEval{Point: SweepPoint{R: rl, Speedup: m.SpeedupACMP(d)}, OK: true}

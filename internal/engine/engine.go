@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -73,7 +72,7 @@ type Stats struct {
 	Hits        uint64 // jobs satisfied by a cached or in-flight computation (memory)
 	Misses      uint64 // cacheable jobs that missed the memory cache
 	Executed    uint64 // job functions actually invoked
-	Inline      uint64 // jobs run on the submitting goroutine (pool saturated)
+	Inline      uint64 // jobs run on the submitting goroutine (pool saturated, or the single-job RunOne fast path — NOT a saturation signal by itself)
 	StoreHits   uint64 // memory misses satisfied by the persistent store
 	StoreMisses uint64 // store lookups that fell through to computation
 }
@@ -97,11 +96,16 @@ type Engine struct {
 	storeMisses atomic.Uint64
 }
 
-// cacheEntry is a singleflight slot: done closes once val/err are set.
+// cacheEntry is a singleflight slot. done is created lazily (under the
+// engine mutex) by the first waiter and closed by the computing goroutine
+// once val/err are set — most jobs never attract a waiter, so the common
+// path allocates no channel. complete is the mutex-guarded "val/err are
+// readable" flag for waiters that arrive after computation finished.
 type cacheEntry struct {
-	done chan struct{}
-	val  any
-	err  error
+	done     chan struct{}
+	complete bool
+	val      any
+	err      error
 }
 
 // New creates an engine with cfg.Workers slots (GOMAXPROCS when <= 0).
@@ -177,9 +181,18 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 	return results
 }
 
-// RunOne is the single-job convenience form of Run.
+// RunOne is the single-job convenience form of Run. A single job offers no
+// fan-out, so it executes directly on the calling goroutine (the same
+// caller-runs behavior Run exhibits when the pool is saturated) without
+// Run's slice/waitgroup bookkeeping — nested sweep and simulation jobs
+// take this path once per sweep.
 func (e *Engine) RunOne(ctx context.Context, job Job) Result {
-	return e.Run(ctx, []Job{job})[0]
+	r := e.exec(ctx, job)
+	e.inline.Add(1)
+	if job.OnDone != nil {
+		job.OnDone(r)
+	}
+	return r
 }
 
 // exec runs one job through the cache.
@@ -196,7 +209,7 @@ func (e *Engine) exec(ctx context.Context, job Job) Result {
 		e.mu.Lock()
 		entry, ok := e.cache[job.Key]
 		if !ok {
-			entry = &cacheEntry{done: make(chan struct{})}
+			entry = &cacheEntry{}
 			e.cache[job.Key] = entry
 			e.mu.Unlock()
 			e.misses.Add(1)
@@ -205,7 +218,7 @@ func (e *Engine) exec(ctx context.Context, job Job) Result {
 				if v, ok := e.store.Get(job.Key); ok {
 					e.storeHits.Add(1)
 					entry.val = v
-					close(entry.done)
+					e.finish(entry)
 					return Result{ID: job.ID, Value: v, Cached: true}
 				}
 				e.storeMisses.Add(1)
@@ -214,8 +227,8 @@ func (e *Engine) exec(ctx context.Context, job Job) Result {
 			entry.val, entry.err = e.invoke(ctx, job)
 			if isCancellation(entry.err) {
 				// Do not poison the cache with a cancellation: drop the
-				// entry (before closing done, so awakened waiters re-look
-				// it up and find it gone) so a later run recomputes.
+				// entry (before marking it complete, so awakened waiters
+				// re-look it up and find it gone) so a later run recomputes.
 				e.mu.Lock()
 				if e.cache[job.Key] == entry {
 					delete(e.cache, job.Key)
@@ -227,13 +240,23 @@ func (e *Engine) exec(ctx context.Context, job Job) Result {
 				// rule and the memory cache's eviction both rely on it).
 				e.store.Put(job.Key, entry.val)
 			}
-			close(entry.done)
+			e.finish(entry)
 			return Result{ID: job.ID, Value: entry.val, Err: entry.err}
 		}
+		if entry.complete {
+			// Computation already finished; val/err are stable.
+			e.mu.Unlock()
+			e.hits.Add(1)
+			return Result{ID: job.ID, Value: entry.val, Err: entry.err, Cached: true}
+		}
+		if entry.done == nil {
+			entry.done = make(chan struct{})
+		}
+		done := entry.done
 		e.mu.Unlock()
 
 		select {
-		case <-entry.done:
+		case <-done:
 			if isCancellation(entry.err) && ctx.Err() == nil {
 				// The computing submitter was cancelled, not us; the entry
 				// has been evicted, so retry with our live context.
@@ -245,6 +268,17 @@ func (e *Engine) exec(ctx context.Context, job Job) Result {
 			return Result{ID: job.ID, Err: ctx.Err()}
 		}
 	}
+}
+
+// finish marks entry's val/err as readable and wakes any waiters that
+// materialized the lazy done channel.
+func (e *Engine) finish(entry *cacheEntry) {
+	e.mu.Lock()
+	entry.complete = true
+	if entry.done != nil {
+		close(entry.done)
+	}
+	e.mu.Unlock()
 }
 
 // isCancellation reports whether err came from context cancellation or
@@ -279,17 +313,6 @@ func (e *Engine) CacheLen() int {
 	return len(e.cache)
 }
 
-// Key builds a deterministic cache key by hashing the %#v rendering of
-// each part with FNV-1a. Parts must have deterministic %#v output (structs
-// of scalars and slices — not maps).
-func Key(parts ...any) string {
-	h := fnv.New64a()
-	for _, p := range parts {
-		fmt.Fprintf(h, "%#v\x00", p)
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
-}
-
 // Map fans items out through the engine and collects the outputs in item
 // order. key may be nil (no caching); id labels jobs for error reporting.
 // The first error in item order is returned alongside the partial outputs.
@@ -301,8 +324,9 @@ func Map[In, Out any](ctx context.Context, e *Engine, items []In, key func(In) s
 		if key != nil {
 			k = key(item)
 		}
+		// The item index identifies the job in error messages; it is
+		// formatted lazily below rather than Sprintf-ed per submission.
 		jobs[i] = Job{
-			ID:  fmt.Sprintf("map[%d]", i),
 			Key: k,
 			Fn: func(ctx context.Context) (any, error) {
 				return fn(ctx, item)
@@ -315,14 +339,14 @@ func Map[In, Out any](ctx context.Context, e *Engine, items []In, key func(In) s
 	for i, r := range res {
 		if r.Err != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("%s: %w", r.ID, r.Err)
+				firstErr = fmt.Errorf("map[%d]: %w", i, r.Err)
 			}
 			continue
 		}
 		v, ok := r.Value.(Out)
 		if !ok && r.Value != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("%s: unexpected result type %T", r.ID, r.Value)
+				firstErr = fmt.Errorf("map[%d]: unexpected result type %T", i, r.Value)
 			}
 			continue
 		}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// keyReflect is the pre-KeyWriter implementation of Key, kept as the
+// reference: FNV-1a over the %#v rendering of each part, NUL-separated.
+// The rewritten Key must match it byte-for-byte on every supported part
+// type, or warm disk caches would silently stop replaying.
+func keyReflect(parts ...any) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%#v\x00", p)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// keyTestStruct exercises the %#v fallback for types without a fast path.
+type keyTestStruct struct {
+	A int
+	B string
+	U uint64
+}
+
+func TestKeyMatchesReflectReference(t *testing.T) {
+	cases := [][]any{
+		{},
+		{"experiment", "fig4", true, false},
+		{"sim-run", "kmeans", 16},
+		{"", ""},
+		{0, -1, 1, -9223372036854775808, 9223372036854775807},
+		{int64(-5), int32(7), uint(12), uint32(255), uint8(0), uint64(0), uint64(1), uint64(0xdeadbeef), uint64(math.MaxUint64)},
+		{0.0, -0.0, 1.0, 0.1, 0.999, 1e21, 1e-7, -2.5, 3.0, math.Pi},
+		{math.Inf(1), math.Inf(-1), math.NaN()},
+		{"quotes \" and \\ and \n and \t", "unicode: héllo ⊕", "nul \x00 byte", "`backquoted`"},
+		{keyTestStruct{A: 1, B: "x", U: 42}},
+		{true, 1, "mixed", 2.5, uint64(9), keyTestStruct{}},
+	}
+	for _, parts := range cases {
+		if got, want := Key(parts...), keyReflect(parts...); got != want {
+			t.Errorf("Key(%#v) = %q, reference %q", parts, got, want)
+		}
+	}
+}
+
+// TestKeyScalarGoldens pins Key outputs captured before the KeyWriter
+// rewrite. These literals must NEVER change: they are the disk-cache key
+// format (see docs/ARCHITECTURE.md).
+func TestKeyScalarGoldens(t *testing.T) {
+	goldens := []struct {
+		parts []any
+		want  string
+	}{
+		{[]any{}, "cbf29ce484222325"},
+		{[]any{"square", 7}, "12df7a433ad704eb"},
+		{[]any{"", -42, uint64(0), uint64(255), true, false, 0.1, 1e21, -0.0, "a\"b\\c\nd", 3.0}, "e025b45921d34bd7"},
+	}
+	for _, g := range goldens {
+		if got := Key(g.parts...); got != g.want {
+			t.Errorf("Key(%#v) = %q, golden %q", g.parts, got, g.want)
+		}
+	}
+}
+
+// TestKeyQuickScalars property-checks the fast paths against the reference
+// across randomized scalar inputs.
+func TestKeyQuickScalars(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	check := func(name string, f any) {
+		t.Helper()
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	check("string", func(s string) bool { return Key(s) == keyReflect(s) })
+	check("int", func(v int) bool { return Key(v) == keyReflect(v) })
+	check("int64", func(v int64) bool { return Key(v) == keyReflect(v) })
+	check("uint64", func(v uint64) bool { return Key(v) == keyReflect(v) })
+	check("float64", func(v float64) bool { return Key(v) == keyReflect(v) })
+	check("bool", func(v bool) bool { return Key(v) == keyReflect(v) })
+	check("mixed", func(a string, b uint64, c float64, d int, e bool) bool {
+		return Key(a, b, c, d, e) == keyReflect(a, b, c, d, e)
+	})
+}
+
+func TestKeyWriterReuse(t *testing.T) {
+	var w KeyWriter
+	w.Reset()
+	w.WritePart("a")
+	w.WritePart(1)
+	first := w.Sum()
+	if first != Key("a", 1) {
+		t.Errorf("KeyWriter sum %q != Key %q", first, Key("a", 1))
+	}
+	w.Reset()
+	w.WritePart("b")
+	if got, want := w.Sum(), Key("b"); got != want {
+		t.Errorf("after Reset: sum %q, want %q", got, want)
+	}
+}
+
+// TestKeyAppenderUsed asserts Key prefers a part's AppendKey over fmt.
+type goodAppender struct{ N int }
+
+func (g goodAppender) AppendKey(b []byte) []byte {
+	b = append(b, "engine.goodAppender{N:"...)
+	b = strconv.AppendInt(b, int64(g.N), 10)
+	return append(b, '}')
+}
+
+func TestKeyAppenderUsed(t *testing.T) {
+	// The appender emits exactly the %#v bytes, so the key must equal the
+	// reference implementation's.
+	if got, want := Key(goodAppender{N: 3}), keyReflect(goodAppender{N: 3}); got != want {
+		t.Errorf("Key with appender = %q, reference %q", got, want)
+	}
+}
+
+func BenchmarkKeyScalars(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Key("sweep-sym", "kmeans", 0.99985, uint64(120), i&7)
+	}
+}
+
+func BenchmarkKeyReflectScalars(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		keyReflect("sweep-sym", "kmeans", 0.99985, uint64(120), i&7)
+	}
+}

@@ -23,8 +23,8 @@ func AblGrowth(_ context.Context, _ Options) (*report.Document, error) {
 			a := app.WithGrowth(g)
 			p, s := core.PeakCoreCount(a, 256)
 			at256 := core.EqualPerfCMP(a, 256)
-			t.AddRow(app.Name, g.String(), fmt.Sprintf("%d", p),
-				fmt.Sprintf("%.1f", s), fmt.Sprintf("%.1f", at256))
+			t.AddRow(app.Name, g.String(), itoa(p),
+				f1(s), f1(at256))
 		}
 	}
 	doc.AddNote("Linear growth caps scalability hardest; logarithmic (tree) reduction recovers most of it; constant (Amdahl) is the optimistic upper bound.")
@@ -54,7 +54,7 @@ func AblTopology(_ context.Context, _ Options) (*report.Document, error) {
 			return nil, fmt.Errorf("empty sweep for %s", kind)
 		}
 		t.AddRow(kind.String(), report.FormatFloat(net.GrowComm(1)),
-			fmt.Sprintf("%.1f", best.Speedup), fmt.Sprintf("%.0f", best.R))
+			f1(best.Speedup), f0(best.R))
 	}
 	doc.AddNote("A crossbar (single hop, full bandwidth) nearly removes the communication penalty; rings make it worse than the mesh — the Eq. 8 trend is topology-sensitive, as the paper anticipates by calling its assumptions optimistic.")
 	return doc, nil
@@ -74,7 +74,7 @@ func AblStrategy(_ context.Context, opt Options) (*report.Document, error) {
 	for _, s := range []reduction.Strategy{reduction.Linear, reduction.Tree, reduction.Parallel} {
 		row := []string{s.String()}
 		for _, th := range threadGrid {
-			row = append(row, fmt.Sprintf("%d", reduction.PredictedCritical(s, th, x)))
+			row = append(row, itoa(reduction.PredictedCritical(s, th, x)))
 		}
 		t.AddRow(row...)
 	}
@@ -84,7 +84,7 @@ func AblStrategy(_ context.Context, opt Options) (*report.Document, error) {
 	for _, s := range []reduction.Strategy{reduction.Linear, reduction.Tree, reduction.Parallel} {
 		row := []string{s.String()}
 		for _, th := range threadGrid {
-			pv := parallel.NewPrivatized(th, x)
+			pv := parallel.AcquirePrivatized(th, x)
 			for id := 0; id < th; id++ {
 				buf := pv.Buf(id)
 				for i := range buf {
@@ -93,10 +93,11 @@ func AblStrategy(_ context.Context, opt Options) (*report.Document, error) {
 			}
 			dst := make([]float64, x)
 			cost, err := reduction.Reduce(s, pv, dst, nil)
+			pv.Release()
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, fmt.Sprintf("%d/%d", cost.CriticalOps, cost.CommElems))
+			row = append(row, itoa(cost.CriticalOps)+"/"+itoa(cost.CommElems))
 		}
 		t2.AddRow(row...)
 	}
@@ -117,9 +118,9 @@ func AblBudget(_ context.Context, _ Options) (*report.Document, error) {
 		rs := core.PowerOfTwoRs(n)
 		be, _ := core.Best(core.SweepSymmetric(app, b, rs))
 		ba, _ := core.Best(core.SweepSymmetric(base, b, rs))
-		t.AddRow(fmt.Sprintf("%d", n),
-			fmt.Sprintf("%.0f", be.R), fmt.Sprintf("%.1f", be.Speedup),
-			fmt.Sprintf("%.0f", ba.R), fmt.Sprintf("%.1f", ba.Speedup))
+		t.AddRow(itoa(n),
+			f0(be.R), f1(be.Speedup),
+			f0(ba.R), f1(ba.Speedup))
 	}
 	doc.AddNote("With reduction overhead the optimal core keeps growing with the budget (the extra area buys capability, not parallelism), while the Amdahl model keeps favoring smaller cores — the paper's 'fewer but more capable cores' conclusion extrapolates beyond 256 BCEs.")
 	return doc, nil

@@ -31,10 +31,10 @@ func ExtCritical(_ context.Context, _ Options) (*report.Document, error) {
 		if !ok {
 			return nil, fmt.Errorf("empty critical ACMP sweep at fcs=%g", fcs)
 		}
-		t.AddRow(fmt.Sprintf("%.2f", fcs),
-			fmt.Sprintf("%.0f", cmp.R), fmt.Sprintf("%.1f", cmp.Speedup),
-			fmt.Sprintf("%.0f", acmp.R), fmt.Sprintf("%.1f", acmp.Speedup),
-			fmt.Sprintf("%.2fx", acmp.Speedup/cmp.Speedup))
+		t.AddRow(f2(fcs),
+			f0(cmp.R), f1(cmp.Speedup),
+			f0(acmp.R), f1(acmp.Speedup),
+			f2(acmp.Speedup/cmp.Speedup)+"x")
 	}
 	doc.AddNote("Critical sections compound the merging-phase penalty; accelerated critical sections restore some ACMP advantage (Suleman et al.), but the reduction term still caps it — the two models compose as the paper's Section VI anticipates.")
 	return doc, nil
@@ -58,19 +58,19 @@ func ExtLocking(_ context.Context, opt Options) (*report.Document, error) {
 	// (linear in threads).
 	row := []string{"privatized + linear merge"}
 	for _, th := range threadGrid {
-		row = append(row, fmt.Sprintf("%d", reduction.PredictedCritical(reduction.Linear, th, updates)))
+		row = append(row, itoa(reduction.PredictedCritical(reduction.Linear, th, updates)))
 	}
 	t.AddRow(row...)
 	row = []string{"privatized + tree merge"}
 	for _, th := range threadGrid {
-		row = append(row, fmt.Sprintf("%d", reduction.PredictedCritical(reduction.Tree, th, updates)))
+		row = append(row, itoa(reduction.PredictedCritical(reduction.Tree, th, updates)))
 	}
 	t.AddRow(row...)
 
 	for _, blocks := range []int{1, 16, 256, updates} {
 		row := []string{fmt.Sprintf("locked shared (%d locks)", blocks)}
 		for _, th := range threadGrid {
-			row = append(row, fmt.Sprintf("%.0f", reduction.LockingCost(th, blocks, updates)))
+			row = append(row, f0(reduction.LockingCost(th, blocks, updates)))
 		}
 		t.AddRow(row...)
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"mergescale/internal/core"
 	"mergescale/internal/report"
@@ -29,10 +30,12 @@ func Fig2a(ctx context.Context, opt Options) (*report.Document, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name(), err)
 		}
-		row := []string{w.Name()}
-		var xs, ys []float64
+		row := make([]string, 0, len(cores)+1)
+		row = append(row, w.Name())
+		xs := make([]float64, 0, len(cores))
+		ys := make([]float64, 0, len(cores))
 		for _, c := range cores {
-			row = append(row, fmt.Sprintf("%.2f", sp[c]))
+			row = append(row, f2(sp[c]))
 			xs = append(xs, float64(c))
 			ys = append(ys, sp[c])
 		}
@@ -77,10 +80,12 @@ func serialGrowthDoc(ctx context.Context, id, title string, opt Options, native 
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", w.Name(), err)
 		}
-		row := []string{w.Name()}
-		var xs, ys []float64
+		row := make([]string, 0, len(threads)+1)
+		row = append(row, w.Name())
+		xs := make([]float64, 0, len(threads))
+		ys := make([]float64, 0, len(threads))
 		for i, th := range threads {
-			row = append(row, fmt.Sprintf("%.2f", norm[i]))
+			row = append(row, f2(norm[i]))
 			xs = append(xs, float64(th))
 			ys = append(ys, norm[i])
 		}
@@ -129,9 +134,10 @@ func Fig2d(ctx context.Context, opt Options) (*report.Document, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := []string{w.Name()}
+		row := make([]string, 0, len(ratio)+1)
+		row = append(row, w.Name())
 		for _, r := range ratio {
-			row = append(row, fmt.Sprintf("%.3f", r))
+			row = append(row, f3(r))
 			if dev := abs(r - 1); dev > worst {
 				worst = dev
 			}
@@ -152,13 +158,17 @@ func Fig3(_ context.Context, _ Options) (*report.Document, error) {
 			append([]string{"model"}, intHeaders(cores)...)...)
 		ext := core.SpeedupCurve(app, cores)
 		amd := core.SpeedupCurve(app.WithGrowth(core.GrowthNone), cores)
-		rowE := []string{"with reduction overhead"}
-		rowA := []string{"Amdahl (constant serial)"}
+		rowE := make([]string, 0, len(cores)+1)
+		rowE = append(rowE, "with reduction overhead")
+		rowA := make([]string, 0, len(cores)+1)
+		rowA = append(rowA, "Amdahl (constant serial)")
 		ch := doc.AddChart("Fig 3 — "+app.Name, "cores", "speedup", true)
-		var xs, ye, ya []float64
+		xs := make([]float64, 0, len(cores))
+		ye := make([]float64, 0, len(cores))
+		ya := make([]float64, 0, len(cores))
 		for i, c := range cores {
-			rowE = append(rowE, fmt.Sprintf("%.1f", ext[i]))
-			rowA = append(rowA, fmt.Sprintf("%.1f", amd[i]))
+			rowE = append(rowE, f1(ext[i]))
+			rowA = append(rowA, f1(amd[i]))
 			xs = append(xs, float64(c))
 			ye = append(ye, ext[i])
 			ya = append(ya, amd[i])
@@ -169,8 +179,7 @@ func Fig3(_ context.Context, _ Options) (*report.Document, error) {
 			report.Series{Name: "extended", X: xs, Y: ye},
 			report.Series{Name: "amdahl", X: xs, Y: ya})
 		peakP, peakS := core.PeakCoreCount(app, 256)
-		doc.AddNote("%s: extended model peaks at %d cores (speedup %.1f); Amdahl still rising at 256 (%.1f).",
-			app.Name, peakP, peakS, amd[len(amd)-1])
+		doc.AddNote(app.Name + ": extended model peaks at " + strconv.Itoa(peakP) + " cores (speedup " + f1(peakS) + "); Amdahl still rising at 256 (" + f1(amd[len(amd)-1]) + ").")
 	}
 	return doc, nil
 }
@@ -195,8 +204,9 @@ func Fig4(ctx context.Context, opt Options) (*report.Document, error) {
 	doc := &report.Document{ID: "fig4", Title: "Scalability on symmetric CMPs"}
 	b := core.DefaultBudget
 	rs := core.PowerOfTwoRs(b.N)
+	headers := append([]string{"series"}, floatHeaders(rs)...)
 	for _, panel := range fig4Panels {
-		t := doc.AddTable("Fig 4"+panel.title, append([]string{"series"}, floatHeaders(rs)...)...)
+		t := doc.AddTable("Fig 4"+panel.title, headers...)
 		ch := doc.AddChart("Fig 4"+panel.title, "r (BCEs per core)", "speedup", true)
 		for _, f := range []float64{0.999, 0.99} {
 			for _, g := range []core.GrowthKind{core.GrowthLinear, core.GrowthLog} {
@@ -205,22 +215,24 @@ func Fig4(ctx context.Context, opt Options) (*report.Document, error) {
 				if err != nil {
 					return nil, err
 				}
-				row := []string{fmt.Sprintf("f=%.3f %s", f, g)}
-				var xs, ys []float64
+				row := make([]string, 0, len(rs)+1)
+				row = append(row, "f="+f3(f)+" "+g.String())
+				xs := make([]float64, 0, len(rs))
+				ys := make([]float64, 0, len(rs))
 				for _, p := range pts {
-					row = append(row, fmt.Sprintf("%.1f", p.Speedup))
+					row = append(row, f1(p.Speedup))
 					xs = append(xs, p.R)
 					ys = append(ys, p.Speedup)
 				}
 				t.AddRow(row...)
 				ch.Series = append(ch.Series, report.Series{Name: row[0], X: xs, Y: ys})
 				if best, ok := core.Best(pts); ok {
-					doc.AddNote("Fig 4%s f=%.3f %s: peak %.1f at r=%.0f", panel.title[:3], f, g, best.Speedup, best.R)
+					doc.AddNote("Fig 4" + panel.title[:3] + " " + row[0] + ": peak " + f1(best.Speedup) + " at r=" + f0(best.R))
 				}
 			}
 		}
 		if panel.paperNote != "" {
-			doc.AddNote("Fig 4%s: %s", panel.title[:3], panel.paperNote)
+			doc.AddNote("Fig 4" + panel.title[:3] + ": " + panel.paperNote)
 		}
 	}
 	return doc, nil
@@ -249,8 +261,9 @@ func Fig5(ctx context.Context, opt Options) (*report.Document, error) {
 	doc := &report.Document{ID: "fig5", Title: "Scalability on asymmetric CMPs"}
 	b := core.DefaultBudget
 	rls := core.PowerOfTwoRs(b.N)
+	headers := append([]string{"series"}, floatHeaders(rls)...)
 	for _, panel := range fig5Panels {
-		t := doc.AddTable("Fig 5"+panel.title, append([]string{"series"}, floatHeaders(rls)...)...)
+		t := doc.AddTable("Fig 5"+panel.title, headers...)
 		ch := doc.AddChart("Fig 5"+panel.title, "rl (BCEs of large core)", "speedup", true)
 		app := core.AppParams{Name: "class", F: panel.f, FCon: panel.fcon, FOred: panel.ford, Growth: core.GrowthLinear}
 		for _, r := range []float64{1, 4, 16} {
@@ -258,13 +271,15 @@ func Fig5(ctx context.Context, opt Options) (*report.Document, error) {
 			if err != nil {
 				return nil, err
 			}
-			row := []string{fmt.Sprintf("r=%g", r)}
+			row := make([]string, 0, len(rls)+1)
+			row = append(row, "r="+strconv.FormatFloat(r, 'g', -1, 64))
 			i := 0
-			var xs, ys []float64
+			xs := make([]float64, 0, len(rls))
+			ys := make([]float64, 0, len(rls))
 			for _, rl := range rls {
 				cell := "-"
 				if i < len(pts) && pts[i].R == rl {
-					cell = fmt.Sprintf("%.1f", pts[i].Speedup)
+					cell = f1(pts[i].Speedup)
 					xs = append(xs, pts[i].R)
 					ys = append(ys, pts[i].Speedup)
 					i++
@@ -274,11 +289,11 @@ func Fig5(ctx context.Context, opt Options) (*report.Document, error) {
 			t.AddRow(row...)
 			ch.Series = append(ch.Series, report.Series{Name: row[0], X: xs, Y: ys})
 			if best, ok := core.Best(pts); ok {
-				doc.AddNote("Fig 5%s r=%g: peak %.1f at rl=%.0f", panel.title[:3], r, best.Speedup, best.R)
+				doc.AddNote("Fig 5" + panel.title[:3] + " " + row[0] + ": peak " + f1(best.Speedup) + " at rl=" + f0(best.R))
 			}
 		}
 		if panel.paperNote != "" {
-			doc.AddNote("Fig 5%s: %s", panel.title[:3], panel.paperNote)
+			doc.AddNote("Fig 5" + panel.title[:3] + ": " + panel.paperNote)
 		}
 	}
 	return doc, nil
@@ -319,18 +334,20 @@ func Fig7(ctx context.Context, opt Options) (*report.Document, error) {
 	if err != nil {
 		return nil, err
 	}
-	row := []string{"mesh/parallel-reduction"}
+	row := make([]string, 0, len(rs)+1)
+	row = append(row, "mesh/parallel-reduction")
 	ch := doc.AddChart("Fig 7(a) — symmetric", "r", "speedup", true)
-	var xs, ys []float64
+	xs := make([]float64, 0, len(rs))
+	ys := make([]float64, 0, len(rs))
 	for _, p := range pts {
-		row = append(row, fmt.Sprintf("%.1f", p.Speedup))
+		row = append(row, f1(p.Speedup))
 		xs = append(xs, p.R)
 		ys = append(ys, p.Speedup)
 	}
 	t.AddRow(row...)
 	ch.Series = append(ch.Series, report.Series{Name: row[0], X: xs, Y: ys})
 	if best, ok := core.Best(pts); ok {
-		doc.AddNote("Fig 7(a): peak %.1f at r=%.0f (paper: 46.6 at r=8; Amdahl would give 79.7)", best.Speedup, best.R)
+		doc.AddNote("Fig 7(a): peak " + f1(best.Speedup) + " at r=" + f0(best.R) + " (paper: 46.6 at r=8; Amdahl would give 79.7)")
 	}
 
 	t2 := doc.AddTable("Fig 7(b) — asymmetric CMPs", append([]string{"series"}, floatHeaders(rs)...)...)
@@ -341,13 +358,15 @@ func Fig7(ctx context.Context, opt Options) (*report.Document, error) {
 		if err != nil {
 			return nil, err
 		}
-		arow := []string{fmt.Sprintf("r=%g", r)}
+		arow := make([]string, 0, len(rs)+1)
+		arow = append(arow, "r="+strconv.FormatFloat(r, 'g', -1, 64))
 		i := 0
-		var axs, ays []float64
+		axs := make([]float64, 0, len(rs))
+		ays := make([]float64, 0, len(rs))
 		for _, rl := range rs {
 			cell := "-"
 			if i < len(apts) && apts[i].R == rl {
-				cell = fmt.Sprintf("%.1f", apts[i].Speedup)
+				cell = f1(apts[i].Speedup)
 				axs = append(axs, apts[i].R)
 				ays = append(ays, apts[i].Speedup)
 				i++
@@ -360,14 +379,14 @@ func Fig7(ctx context.Context, opt Options) (*report.Document, error) {
 			bestAll = best
 		}
 	}
-	doc.AddNote("Fig 7(b): ACMP peak %.1f (paper: 51.6; Amdahl's ACMP estimate was 162.3) — the ACMP advantage is diminished.", bestAll.Speedup)
+	doc.AddNote("Fig 7(b): ACMP peak " + f1(bestAll.Speedup) + " (paper: 51.6; Amdahl's ACMP estimate was 162.3) — the ACMP advantage is diminished.")
 	return doc, nil
 }
 
 func intHeaders(xs []int) []string {
 	out := make([]string, len(xs))
 	for i, x := range xs {
-		out[i] = fmt.Sprintf("p=%d", x)
+		out[i] = "p=" + strconv.Itoa(x)
 	}
 	return out
 }
@@ -375,10 +394,20 @@ func intHeaders(xs []int) []string {
 func floatHeaders(xs []float64) []string {
 	out := make([]string, len(xs))
 	for i, x := range xs {
-		out[i] = fmt.Sprintf("r=%.0f", x)
+		out[i] = "r=" + strconv.FormatFloat(x, 'f', 0, 64)
 	}
 	return out
 }
+
+// f1/f2/f3 format table cells at fixed precision through strconv directly
+// (byte-identical to fmt's %.1f/%.2f/%.3f, which delegate to the same
+// routines) — the figure builders emit hundreds of cells per document.
+func f0(v float64) string { return strconv.FormatFloat(v, 'f', 0, 64) }
+func f5(v float64) string { return strconv.FormatFloat(v, 'f', 5, 64) }
+func itoa(v int) string   { return strconv.Itoa(v) }
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+func f2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
 
 func abs(v float64) float64 {
 	if v < 0 {

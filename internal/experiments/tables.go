@@ -20,7 +20,7 @@ func Table1(_ context.Context, opt Options) (*report.Document, error) {
 	doc := &report.Document{ID: "table1", Title: "Baseline configuration"}
 	cfg := sim.DefaultConfig(16)
 	t := doc.AddTable("Table I — baseline configuration (simulator substitute for SESC)", "Parameter", "Value", "Paper (Table I)")
-	t.AddRow("Fetch/Issue/Commit width", fmt.Sprintf("%d", cfg.IssueWidth), "4")
+	t.AddRow("Fetch/Issue/Commit width", itoa(cfg.IssueWidth), "4")
 	t.AddRow("L1 D-cache", fmt.Sprintf("%dK %d-way private, %dB lines", cfg.L1Size>>10, cfg.L1Ways, cfg.LineSz), "64K 4-way private")
 	t.AddRow("L2 cache", fmt.Sprintf("%dM %d-way shared", cfg.L2Size>>20, cfg.L2Ways), "4M 16-way shared")
 	t.AddRow("Coherence", "MESI (full-map directory)", "MESI")
@@ -77,12 +77,12 @@ func Table2(ctx context.Context, opt Options) (*report.Document, error) {
 			report.FormatFloat(ap.FOred*100),
 			report.FormatFloat(ap.FRed()*100),
 			report.FormatFloat(ap.FCon*100),
-			fmt.Sprintf("%.5f", ap.F),
+			f5(ap.F),
 			report.FormatFloat(p.serialPct),
 			report.FormatFloat(p.foredPct),
 			report.FormatFloat(p.fredPct),
 			report.FormatFloat(p.fconPct),
-			fmt.Sprintf("%.5f", p.f))
+			f5(p.f))
 	}
 	doc.AddNote("Critical sections are not modeled (paper measures <= 0.004%% and excludes them from the analysis).")
 	doc.AddNote("Absolute percentages depend on the simulator's latency constants; the ordering (fuzzy > kmeans > hop in f; hop highest fcon; hop superlinear fored) matches the paper.")
@@ -96,11 +96,27 @@ func Table3(_ context.Context, _ Options) (*report.Document, error) {
 		"parallelism", "constant", "reduction", "f", "fcon(%)", "fored(%)")
 	for _, c := range core.TableIIIClasses() {
 		t.AddRow(c.Parallelism, c.Constant, c.Reduction,
-			fmt.Sprintf("%.3f", c.Params.F),
+			f3(c.Params.F),
 			report.FormatFloat(c.Params.FCon*100),
 			report.FormatFloat(c.Params.FOred*100))
 	}
 	return doc, nil
+}
+
+// paperTableIV holds the paper's Table IV reference values (f, fred%,
+// fcon%), hoisted to package scope so repeated Table4 jobs do not rebuild
+// the map per run.
+var paperTableIV = map[string][3]float64{
+	"kmeans-base":   {0.99985, 43, 57},
+	"kmeans-dim":    {0.99984, 41, 59},
+	"kmeans-point":  {0.99992, 49, 51},
+	"kmeans-center": {0.99984, 41, 59},
+	"fuzzy-base":    {0.99998, 65, 35},
+	"fuzzy-dim":     {0.99997, 61, 39},
+	"fuzzy-point":   {0.99999, 59, 41},
+	"fuzzy-center":  {0.99998, 61, 39},
+	"hop-default":   {0.9990, 12, 88},
+	"hop-med":       {0.9980, 15, 85},
 }
 
 // Table4 regenerates the data-set sensitivity study from native runs.
@@ -108,19 +124,6 @@ func Table4(ctx context.Context, opt Options) (*report.Document, error) {
 	doc := &report.Document{ID: "table4", Title: "Dataset sensitivity (native runs, operation counts)"}
 	t := doc.AddTable("Table IV — dataset sensitivity",
 		"Data Label", "Attributes", "f", "fred(%)", "fcon(%)", "paper f", "paper fred(%)", "paper fcon(%)")
-
-	paper := map[string][3]float64{ // f, fred%, fcon%
-		"kmeans-base":   {0.99985, 43, 57},
-		"kmeans-dim":    {0.99984, 41, 59},
-		"kmeans-point":  {0.99992, 49, 51},
-		"kmeans-center": {0.99984, 41, 59},
-		"fuzzy-base":    {0.99998, 65, 35},
-		"fuzzy-dim":     {0.99997, 61, 39},
-		"fuzzy-point":   {0.99999, 59, 41},
-		"fuzzy-center":  {0.99998, 61, 39},
-		"hop-default":   {0.9990, 12, 88},
-		"hop-med":       {0.9980, 15, 85},
-	}
 
 	// Five iterations suffice: the section fractions are per-iteration
 	// ratios and do not depend on the iteration count (only the init share
@@ -139,7 +142,7 @@ func Table4(ctx context.Context, opt Options) (*report.Document, error) {
 				spec.N = 1024
 			}
 		}
-		ds, err := datagen.Generate(spec)
+		ds, err := genDataset(spec)
 		if err != nil {
 			return err
 		}
@@ -151,13 +154,13 @@ func Table4(ctx context.Context, opt Options) (*report.Document, error) {
 		if err != nil {
 			return err
 		}
-		attrs := fmt.Sprintf("N:%d D:%d C:%d", spec.N, spec.D, spec.C)
-		pv := paper[label]
+		attrs := "N:" + itoa(spec.N) + " D:" + itoa(spec.D) + " C:" + itoa(spec.C)
+		pv := paperTableIV[label]
 		t.AddRow(label, attrs,
-			fmt.Sprintf("%.5f", ap.F),
+			f5(ap.F),
 			report.FormatFloat(ap.FRed()*100),
 			report.FormatFloat(ap.FCon*100),
-			fmt.Sprintf("%.5f", pv[0]),
+			f5(pv[0]),
 			report.FormatFloat(pv[1]),
 			report.FormatFloat(pv[2]))
 		return nil

@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestAcquirePoolReuse verifies released teams are recycled and stay
+// functional across reuse.
+func TestAcquirePoolReuse(t *testing.T) {
+	p, err := AcquirePool(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int64
+	p.Run(func(id int) { n.Add(1) })
+	if n.Load() != 3 {
+		t.Fatalf("first run executed %d workers, want 3", n.Load())
+	}
+	p.Release()
+	p.Release() // double release is a checked no-op
+
+	q, err := AcquirePool(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Release()
+	if q != p {
+		// The team free list is an explicit bounded list (not a sync.Pool),
+		// so reuse is deterministic.
+		t.Fatal("free list did not return the released team")
+	}
+	n.Store(0)
+	q.Run(func(id int) { n.Add(1) })
+	if n.Load() != 3 {
+		t.Fatalf("reused run executed %d workers, want 3", n.Load())
+	}
+}
+
+// TestReleaseOverflowCloses: a full free list must shut overflow teams
+// down rather than leak their workers (a parked team owns goroutines, so
+// it can never be silently dropped).
+func TestReleaseOverflowCloses(t *testing.T) {
+	const size = 5 // distinct from other tests so their parked teams don't interfere
+	pools := make([]*Pool, maxParkedTeams+2)
+	for i := range pools {
+		p, err := NewPool(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pools[i] = p
+	}
+	for _, p := range pools {
+		p.Release()
+	}
+	closed := 0
+	for _, p := range pools {
+		if p.closed {
+			closed++
+		}
+	}
+	if closed != len(pools)-maxParkedTeams {
+		t.Errorf("%d overflow teams closed, want %d", closed, len(pools)-maxParkedTeams)
+	}
+	// Drain what was parked so later tests of this size start clean.
+	for i := 0; i < maxParkedTeams; i++ {
+		p, err := AcquirePool(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Close()
+	}
+}
+
+// TestPrivatizedDoubleRelease: a second Release must not double-park the
+// buffer set (two owners of one buffer corrupt both reductions).
+func TestPrivatizedDoubleRelease(t *testing.T) {
+	pv := AcquirePrivatized(2, 7)
+	pv.Release()
+	pv.Release()
+	a := AcquirePrivatized(2, 7)
+	b := AcquirePrivatized(2, 7)
+	defer a.Release()
+	defer b.Release()
+	if a == b {
+		t.Fatal("double release handed the same buffer set to two owners")
+	}
+}
+
+// TestReleasedPoolPanics locks the misuse guard.
+func TestReleasedPoolPanics(t *testing.T) {
+	p, err := NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("Run on a released pool did not panic")
+		}
+	}()
+	p.Run(func(int) {})
+}
+
+// TestCloseAfterReleaseIsNoop: a released pool belongs to the free list;
+// Close must not tear its workers down underneath a future Acquire.
+func TestClosedPoolNotRecycled(t *testing.T) {
+	p, err := NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Release() // must not park a closed pool in the free list
+	q, err := AcquirePool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Release()
+	if q == p {
+		t.Fatal("closed pool came back out of the free list")
+	}
+	var n atomic.Int64
+	q.Run(func(int) { n.Add(1) })
+	if n.Load() != 4 {
+		t.Fatalf("run executed %d workers, want 4", n.Load())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -35,7 +36,9 @@ func (t *Table) AddRowf(values ...interface{}) {
 }
 
 // FormatFloat renders a float compactly: integers without decimals, small
-// magnitudes with enough precision to be meaningful.
+// magnitudes with enough precision to be meaningful. It formats through
+// strconv directly (fmt's %.Nf/%.Ng delegate to the same routines), so a
+// table cell costs one string allocation instead of fmt's boxing.
 func FormatFloat(v float64) string {
 	switch {
 	case math.IsNaN(v):
@@ -43,17 +46,19 @@ func FormatFloat(v float64) string {
 	case math.IsInf(v, 0):
 		return "Inf"
 	case v == math.Trunc(v) && math.Abs(v) < 1e9:
-		return fmt.Sprintf("%.0f", v)
+		return strconv.FormatFloat(v, 'f', 0, 64)
 	case math.Abs(v) >= 100:
-		return fmt.Sprintf("%.1f", v)
+		return strconv.FormatFloat(v, 'f', 1, 64)
 	case math.Abs(v) >= 0.01:
-		return fmt.Sprintf("%.3f", v)
+		return strconv.FormatFloat(v, 'f', 3, 64)
 	default:
-		return fmt.Sprintf("%.3g", v)
+		return strconv.FormatFloat(v, 'g', 3, 64)
 	}
 }
 
-// Render writes the table with aligned columns.
+// Render writes the table with aligned columns. One scratch line buffer is
+// reused for every row (the rendering path runs per experiment per
+// request, so per-cell fmt/join allocations used to dominate render cost).
 func (t *Table) Render(w io.Writer) error {
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
@@ -66,34 +71,55 @@ func (t *Table) Render(w io.Writer) error {
 			}
 		}
 	}
+	buf := make([]byte, 0, 128)
 	if t.Title != "" {
-		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		buf = append(append(buf, t.Title...), '\n')
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}
-	line := func(cells []string) string {
-		parts := make([]string, len(widths))
+	// writeLine renders cells padded to their column widths, two spaces
+	// between columns, trailing spaces trimmed — byte-identical to the
+	// former Sprintf("%-*s")+Join+TrimRight form (golden tests pin it).
+	writeLine := func(cells []string) error {
+		buf = buf[:0]
 		for i := range widths {
 			cell := ""
 			if i < len(cells) {
 				cell = cells[i]
 			}
-			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			buf = append(buf, cell...)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				buf = append(buf, ' ')
+			}
+			if i < len(widths)-1 {
+				buf = append(buf, ' ', ' ')
+			}
 		}
-		return strings.TrimRight(strings.Join(parts, "  "), " ")
+		for len(buf) > 0 && buf[len(buf)-1] == ' ' {
+			buf = buf[:len(buf)-1]
+		}
+		buf = append(buf, '\n')
+		_, err := w.Write(buf)
+		return err
 	}
-	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+	if err := writeLine(t.Columns); err != nil {
 		return err
 	}
 	total := len(widths)*2 - 2
 	for _, wd := range widths {
 		total += wd
 	}
-	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+	buf = buf[:0]
+	for i := 0; i < total; i++ {
+		buf = append(buf, '-')
+	}
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
 		return err
 	}
 	for _, row := range t.Rows {
-		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+		if err := writeLine(row); err != nil {
 			return err
 		}
 	}
@@ -148,7 +174,9 @@ var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
 
 // Render draws the chart onto a fixed-size character grid. The rendering
 // is intentionally simple: each point maps to one cell; later series
-// overwrite earlier ones on collisions.
+// overwrite earlier ones on collisions. The grid and every output line
+// share one scratch buffer; fmt is avoided on the hot path (all float
+// formatting goes through strconv, which %.4g delegates to anyway).
 func (c *Chart) Render(w io.Writer) error {
 	const width, height = 64, 16
 	if len(c.Series) == 0 {
@@ -176,9 +204,10 @@ func (c *Chart) Render(w io.Writer) error {
 	if minY == maxY {
 		maxY = minY + 1
 	}
-	grid := make([][]byte, height)
-	for i := range grid {
-		grid[i] = []byte(strings.Repeat(" ", width))
+	// One backing array for the whole grid instead of a slice per row.
+	cells := make([]byte, height*width)
+	for i := range cells {
+		cells[i] = ' '
 	}
 	for si, s := range c.Series {
 		m := markers[si%len(markers)]
@@ -187,33 +216,61 @@ func (c *Chart) Render(w io.Writer) error {
 			py := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
 			row := height - 1 - py
 			if row >= 0 && row < height && px >= 0 && px < width {
-				grid[row][px] = m
+				cells[row*width+px] = m
 			}
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+	buf := make([]byte, 0, width+4)
+	writeBuf := func() error {
+		_, err := w.Write(buf)
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s (max %.4g)\n", c.YLabel, maxY); err != nil {
+	buf = append(append(buf, c.Title...), '\n')
+	if err := writeBuf(); err != nil {
 		return err
 	}
-	for _, row := range grid {
-		if _, err := fmt.Fprintf(w, "| %s\n", string(row)); err != nil {
+	buf = append(append(buf[:0], c.YLabel...), " (max "...)
+	buf = strconv.AppendFloat(buf, maxY, 'g', 4, 64)
+	buf = append(buf, ")\n"...)
+	if err := writeBuf(); err != nil {
+		return err
+	}
+	for row := 0; row < height; row++ {
+		buf = append(append(buf[:0], '|', ' '), cells[row*width:(row+1)*width]...)
+		buf = append(buf, '\n')
+		if err := writeBuf(); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "+%s\n", strings.Repeat("-", width+1)); err != nil {
+	buf = append(buf[:0], '+')
+	for i := 0; i < width+1; i++ {
+		buf = append(buf, '-')
+	}
+	buf = append(buf, '\n')
+	if err := writeBuf(); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "  %s: %.4g .. %.4g (min y %.4g)\n", c.XLabel, minXOrig(c), maxXOrig(c), minY); err != nil {
+	buf = append(append(buf[:0], ' ', ' '), c.XLabel...)
+	buf = append(buf, ": "...)
+	buf = strconv.AppendFloat(buf, minXOrig(c), 'g', 4, 64)
+	buf = append(buf, " .. "...)
+	buf = strconv.AppendFloat(buf, maxXOrig(c), 'g', 4, 64)
+	buf = append(buf, " (min y "...)
+	buf = strconv.AppendFloat(buf, minY, 'g', 4, 64)
+	buf = append(buf, ")\n"...)
+	if err := writeBuf(); err != nil {
 		return err
 	}
-	var legend []string
+	buf = append(buf[:0], "  legend: "...)
 	for si, s := range c.Series {
-		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+		if si > 0 {
+			buf = append(buf, ' ', ' ')
+		}
+		buf = append(buf, markers[si%len(markers)], '=')
+		buf = append(buf, s.Name...)
 	}
-	_, err := fmt.Fprintf(w, "  legend: %s\n", strings.Join(legend, "  "))
-	return err
+	buf = append(buf, '\n')
+	return writeBuf()
 }
 
 func minXOrig(c *Chart) float64 {
@@ -246,9 +303,10 @@ type Document struct {
 	Notes  []string
 }
 
-// AddTable appends and returns a new table.
+// AddTable appends and returns a new table. Rows gets a little capacity up
+// front so typical tables (a handful of rows) append without regrowing.
 func (d *Document) AddTable(title string, columns ...string) *Table {
-	t := &Table{Title: title, Columns: columns}
+	t := &Table{Title: title, Columns: columns, Rows: make([][]string, 0, 8)}
 	d.Tables = append(d.Tables, t)
 	return t
 }
@@ -260,8 +318,15 @@ func (d *Document) AddChart(title, xlabel, ylabel string, logX bool) *Chart {
 	return c
 }
 
-// AddNote appends a formatted note line.
+// AddNote appends a formatted note line. Pre-rendered notes (no args) are
+// stored as-is — callers on hot paths concatenate with strconv and pass a
+// single string, skipping fmt entirely.
 func (d *Document) AddNote(format string, args ...interface{}) {
+	if len(args) == 0 && !strings.ContainsRune(format, '%') {
+		// No verbs to expand (a %% escape still needs fmt).
+		d.Notes = append(d.Notes, format)
+		return
+	}
 	d.Notes = append(d.Notes, fmt.Sprintf(format, args...))
 }
 
@@ -286,28 +351,37 @@ func (r *textRenderer) End() error   { return nil }
 func (r *textRenderer) Element(el Element) error {
 	switch el.Kind {
 	case ElemBeginDoc:
-		_, err := fmt.Fprintf(r.w, "== %s: %s ==\n\n", el.ID, el.Title)
-		return err
+		// Direct writes: Fprintf would box both strings per document.
+		for _, s := range []string{"== ", el.ID, ": ", el.Title, " ==\n\n"} {
+			if _, err := io.WriteString(r.w, s); err != nil {
+				return err
+			}
+		}
+		return nil
 	case ElemTable:
 		if err := el.Table.Render(r.w); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintln(r.w)
+		_, err := io.WriteString(r.w, "\n")
 		return err
 	case ElemChart:
 		if err := el.Chart.Render(r.w); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintln(r.w)
+		_, err := io.WriteString(r.w, "\n")
 		return err
 	case ElemNote:
-		_, err := fmt.Fprintf(r.w, "note: %s\n", el.Note)
-		return err
+		for _, s := range []string{"note: ", el.Note, "\n"} {
+			if _, err := io.WriteString(r.w, s); err != nil {
+				return err
+			}
+		}
+		return nil
 	case ElemEndDoc:
 		if !r.sep {
 			return nil
 		}
-		_, err := fmt.Fprintln(r.w)
+		_, err := io.WriteString(r.w, "\n")
 		return err
 	}
 	return fmt.Errorf("report: unknown element kind %d", el.Kind)

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// renderCacheEntries bounds the rendered-response LRU. The key space is
+// tiny — (registry size + 1 for "all") × four formats — so a small cap
+// covers every reachable key while bounding memory if the registry grows.
+const renderCacheEntries = 64
+
+// renderKey addresses one fully rendered /run response body.
+type renderKey struct {
+	target string // experiment id or "all"
+	format string
+}
+
+// renderCache is a per-process LRU of fully rendered /run response bodies.
+// A hit skips the engine walk AND re-rendering — the warm path becomes a
+// single buffer write (lookup happens after target resolution, so 404s
+// never count as misses). Entries live for the process
+// lifetime (the engine's own caches make results deterministic per
+// process; wall-clock -duration runs bypass this cache entirely), and the
+// LRU only exists to bound memory. Safe for concurrent use.
+type renderCache struct {
+	mu     sync.Mutex
+	max    int
+	order  *list.List // front = most recently used; values are *renderEntry
+	byKey  map[renderKey]*list.Element
+	hits   uint64
+	misses uint64
+	bytes  int64
+}
+
+type renderEntry struct {
+	key  renderKey
+	body []byte
+}
+
+func newRenderCache(max int) *renderCache {
+	return &renderCache{
+		max:   max,
+		order: list.New(),
+		byKey: make(map[renderKey]*list.Element),
+	}
+}
+
+// get returns the cached body for key, bumping its recency. The returned
+// slice must be treated as read-only (it is shared across requests).
+func (c *renderCache) get(key renderKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*renderEntry).body, true
+}
+
+// put stores a rendered body, evicting the least recently used entry past
+// the cap. The caller must not mutate body afterwards.
+func (c *renderCache) put(key renderKey, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		// Identical requests render identical bytes; just refresh recency
+		// and keep accounting exact.
+		c.bytes += int64(len(body)) - int64(len(el.Value.(*renderEntry).body))
+		el.Value.(*renderEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&renderEntry{key: key, body: body})
+	c.bytes += int64(len(body))
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		ent := last.Value.(*renderEntry)
+		c.order.Remove(last)
+		delete(c.byKey, ent.key)
+		c.bytes -= int64(len(ent.body))
+	}
+}
+
+// stats snapshots the counters for /stats.
+func (c *renderCache) stats() (hits, misses uint64, entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len(), c.bytes
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"mergescale/internal/engine"
+	"mergescale/internal/experiments"
+)
+
+func TestRenderCacheLRU(t *testing.T) {
+	c := newRenderCache(2)
+	kA := renderKey{target: "a", format: "text"}
+	kB := renderKey{target: "b", format: "text"}
+	kC := renderKey{target: "c", format: "text"}
+
+	if _, ok := c.get(kA); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.put(kA, []byte("aaa"))
+	c.put(kB, []byte("bb"))
+	if body, ok := c.get(kA); !ok || string(body) != "aaa" {
+		t.Fatalf("get(a) = %q, %v", body, ok)
+	}
+	// a was just used; inserting c must evict b.
+	c.put(kC, []byte("c"))
+	if _, ok := c.get(kB); ok {
+		t.Error("LRU kept the least recently used entry")
+	}
+	if _, ok := c.get(kA); !ok {
+		t.Error("LRU evicted the recently used entry")
+	}
+	hits, misses, entries, size := c.stats()
+	if entries != 2 {
+		t.Errorf("entries = %d, want 2", entries)
+	}
+	if size != int64(len("aaa")+len("c")) {
+		t.Errorf("bytes = %d, want %d", size, len("aaa")+len("c"))
+	}
+	if hits != 2 || misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", hits, misses)
+	}
+	// Replacing an existing key keeps accounting exact.
+	c.put(kA, []byte("aaaaa"))
+	if _, _, entries, size := c.stats(); entries != 2 || size != int64(len("aaaaa")+len("c")) {
+		t.Errorf("after replace: entries=%d bytes=%d", entries, size)
+	}
+}
+
+// TestRunResponseCacheHit drives /run twice and requires the repeat to be
+// byte-identical, counted as a render-cache hit, and to execute no
+// further engine jobs.
+func TestRunResponseCacheHit(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 2})
+	targets := []experiments.Experiment{mustByID(t, "table1"), mustByID(t, "fig4")}
+	srv := &Server{Engine: eng, Opt: quick, Experiments: targets}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	readStats := func() (render renderStats, executed uint64) {
+		code, body := get(t, ts, "/stats")
+		if code != 200 {
+			t.Fatalf("/stats = %d", code)
+		}
+		var payload struct {
+			Engine struct {
+				Executed uint64 `json:"executed"`
+			} `json:"engine"`
+			Render renderStats `json:"render"`
+		}
+		if err := json.Unmarshal(body, &payload); err != nil {
+			t.Fatal(err)
+		}
+		return payload.Render, payload.Engine.Executed
+	}
+
+	code, cold := get(t, ts, "/run/all?format=markdown")
+	if code != 200 {
+		t.Fatalf("cold run = %d", code)
+	}
+	render, executedCold := readStats()
+	if render.Misses == 0 || render.Hits != 0 {
+		t.Fatalf("cold run: render stats %+v, want a miss and no hits", render)
+	}
+	if render.Entries != 1 || render.Bytes != int64(len(cold)) {
+		t.Errorf("cold run: entries=%d bytes=%d, want 1 entry of %d bytes", render.Entries, render.Bytes, len(cold))
+	}
+
+	code, warm := get(t, ts, "/run/all?format=markdown")
+	if code != 200 {
+		t.Fatalf("warm run = %d", code)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("cached body differs from rendered body")
+	}
+	render, executedWarm := readStats()
+	if render.Hits != 1 {
+		t.Errorf("warm run: hits = %d, want 1", render.Hits)
+	}
+	if executedWarm != executedCold {
+		t.Errorf("warm run executed %d new jobs, want 0", executedWarm-executedCold)
+	}
+
+	// A different format misses and renders separately.
+	if code, _ := get(t, ts, "/run/all?format=json"); code != 200 {
+		t.Fatalf("json run = %d", code)
+	}
+	if render, _ := readStats(); render.Hits != 1 || render.Entries != 2 {
+		t.Errorf("after json run: %+v, want 1 hit and 2 entries", render)
+	}
+}
+
+// TestRunResponseCacheSkippedOnDuration locks the rule that wall-clock
+// (nondeterministic) runs never enter or serve from the render cache.
+func TestRunResponseCacheSkippedOnDuration(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 2})
+	srv := &Server{
+		Engine:      eng,
+		Opt:         experiments.Options{Quick: true, UseDuration: true},
+		Experiments: []experiments.Experiment{mustByID(t, "table1")},
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		if code, _ := get(t, ts, "/run/table1"); code != 200 {
+			t.Fatalf("run %d = %d", i, code)
+		}
+	}
+	hits, misses, entries, _ := srv.renderedBodies.stats()
+	if hits != 0 || misses != 0 || entries != 0 {
+		t.Errorf("duration runs touched the render cache: hits=%d misses=%d entries=%d", hits, misses, entries)
+	}
+}
+
+func mustByID(t *testing.T, id string) experiments.Experiment {
+	t.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

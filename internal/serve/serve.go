@@ -23,6 +23,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -55,6 +56,11 @@ type Server struct {
 	Experiments []experiments.Experiment
 	// Log receives request errors; nil discards them.
 	Log *log.Logger
+
+	// renderedBodies caches fully rendered /run responses keyed by
+	// (target, format); initialized once by Handler. See renderCache for
+	// the caching rules (UseDuration runs bypass it).
+	renderedBodies *renderCache
 }
 
 // registry returns the experiment set this server exposes.
@@ -74,6 +80,9 @@ func (s *Server) logf(format string, args ...any) {
 // Handler builds the route table. The returned handler is safe for
 // concurrent use; every /run request gets its own renderer and sink.
 func (s *Server) Handler() http.Handler {
+	if s.renderedBodies == nil {
+		s.renderedBodies = newRenderCache(renderCacheEntries)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
@@ -127,10 +136,19 @@ type diskStats struct {
 	Bytes     int64  `json:"bytes"`
 }
 
+// renderStats reports the rendered-response cache counters.
+type renderStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+}
+
 // statsPayload is the /stats response body.
 type statsPayload struct {
-	Engine engineStats `json:"engine"`
-	Disk   *diskStats  `json:"disk,omitempty"`
+	Engine engineStats  `json:"engine"`
+	Disk   *diskStats   `json:"disk,omitempty"`
+	Render *renderStats `json:"render,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -157,6 +175,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Entries:   entries,
 			Bytes:     bytes,
 		}
+	}
+	if s.renderedBodies != nil {
+		hits, misses, entries, bytes := s.renderedBodies.stats()
+		payload.Render = &renderStats{Hits: hits, Misses: misses, Entries: entries, Bytes: bytes}
 	}
 	s.writeJSON(w, payload)
 }
@@ -223,10 +245,38 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Rendered-response cache: a warm (target, format) pair skips the
+	// engine walk and re-rendering — the whole body goes out in one write.
+	// Consulted only after target resolution so 404 traffic cannot skew
+	// the hit/miss counters (an unknown target could never be a hit).
+	// Entries only exist for runs that completed cleanly, so a hit can
+	// never replay a partial document. Wall-clock runs (UseDuration) are
+	// nondeterministic and never enter the cache.
+	cacheable := !s.Opt.UseDuration
+	key := renderKey{target: target, format: format}
+	if cacheable {
+		if body, ok := s.renderedBodies.get(key); ok {
+			w.Header().Set("Content-Type", contentTypes[format])
+			w.Header().Set("X-Content-Type-Options", "nosniff")
+			if _, err := w.Write(body); err != nil {
+				s.logf("serve: run %s format=%s: cached write: %v", target, format, err)
+			}
+			return
+		}
+	}
+
 	w.Header().Set("Content-Type", contentTypes[format])
 	w.Header().Set("X-Content-Type-Options", "nosniff")
 	body := &countingWriter{w: w}
-	renderer, err := report.NewRenderer(format, body)
+	// Tee the streamed bytes into a capture buffer so a clean run can be
+	// stored for future cache hits without a second render pass.
+	var capture *bytes.Buffer
+	var out io.Writer = body
+	if cacheable {
+		capture = &bytes.Buffer{}
+		out = io.MultiWriter(body, capture)
+	}
+	renderer, err := report.NewRenderer(format, out)
 	if err != nil {
 		// Unreachable: the format was validated above.
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -267,6 +317,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		panic(http.ErrAbortHandler)
+	}
+	if capture != nil {
+		// Only clean, fully rendered runs are cached; errored or aborted
+		// streams returned above.
+		s.renderedBodies.put(key, capture.Bytes())
 	}
 }
 

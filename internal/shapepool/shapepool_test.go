@@ -1,0 +1,52 @@
+package shapepool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestForReturnsStablePools(t *testing.T) {
+	var r Registry[[2]int]
+	a := r.For([2]int{1, 2})
+	b := r.For([2]int{1, 2})
+	c := r.For([2]int{2, 1})
+	if a != b {
+		t.Error("same shape returned different pools")
+	}
+	if a == c {
+		t.Error("different shapes share a pool")
+	}
+	a.Put(42)
+	if v, _ := r.For([2]int{1, 2}).Get().(int); v != 42 {
+		t.Errorf("pooled value lost: got %v", v)
+	}
+}
+
+func TestForConcurrent(t *testing.T) {
+	var r Registry[int]
+	var wg sync.WaitGroup
+	pools := make([]*sync.Pool, 64)
+	for i := range pools {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pools[i] = r.For(i % 4)
+		}(i)
+	}
+	wg.Wait()
+	for i := range pools {
+		if pools[i] != r.For(i%4) {
+			t.Fatalf("pool %d not stable under concurrent first use", i)
+		}
+	}
+}
+
+func TestForSteadyStateZeroAllocs(t *testing.T) {
+	var r Registry[[2]int]
+	r.For([2]int{3, 4})
+	if allocs := testing.AllocsPerRun(100, func() {
+		r.For([2]int{3, 4})
+	}); allocs != 0 {
+		t.Errorf("steady-state For allocates %.1f times, want 0", allocs)
+	}
+}

@@ -1,0 +1,56 @@
+package sim_test
+
+import (
+	"testing"
+
+	"mergescale/internal/sim"
+	"mergescale/internal/workload"
+	"mergescale/internal/workload/datagen"
+	"mergescale/internal/workload/fuzzy"
+	"mergescale/internal/workload/hop"
+	"mergescale/internal/workload/kmeans"
+)
+
+// Full Machine.Run benchmarks, one per workload, drawing pooled machines
+// exactly like engine jobs do (workload.RunSim). Program construction is
+// hoisted out of the loop so the numbers isolate the simulator itself.
+func benchMachineRun(b *testing.B, w workload.Workload, cores int) {
+	b.Helper()
+	ds, err := datagen.Generate(datagen.Spec{Label: "bench", N: 2048, D: 4, C: 4, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(cores)
+	prog, err := w.BuildProgram(ds, cfg, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.AcquireMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+		m.Release()
+	}
+}
+
+func newQuickKMeans() workload.Workload {
+	w := kmeans.New()
+	w.Cfg.Iters = 2
+	return w
+}
+
+func newQuickFuzzy() workload.Workload {
+	w := fuzzy.New()
+	w.Cfg.Iters = 2
+	return w
+}
+
+func BenchmarkSimRunKMeans8(b *testing.B) { benchMachineRun(b, newQuickKMeans(), 8) }
+func BenchmarkSimRunFuzzy8(b *testing.B)  { benchMachineRun(b, newQuickFuzzy(), 8) }
+func BenchmarkSimRunHop8(b *testing.B)    { benchMachineRun(b, hop.New(), 8) }

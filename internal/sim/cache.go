@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // MESI line states. The directory tracks which L1s hold each line and
 // whether one of them owns it in Modified state.
 type mesiState uint8
@@ -35,7 +37,9 @@ type cacheLine struct {
 
 // cache is a set-associative cache with true-LRU replacement. Addresses are
 // line addresses (byte address >> lineShift); the cache is a tag store
-// only — the simulator carries no data.
+// only — the simulator carries no data. All sets live in one preallocated
+// set-major slice and the lookup paths index it directly (no per-access
+// sub-slicing), so a steady-state access allocates nothing.
 type cache struct {
 	sets    int
 	ways    int
@@ -44,19 +48,39 @@ type cache struct {
 	tick    uint64      // LRU clock
 }
 
-func newCache(sizeBytes, ways, lineSz int) *cache {
+// init sizes the tag store of a zero-value cache. Pooled machines never
+// come back through here — Machine.Reset reuses the line slice via
+// cache.reset, which is the only recycling path.
+func (c *cache) init(sizeBytes, ways, lineSz int) {
 	linesTotal := sizeBytes / lineSz
-	sets := linesTotal / ways
-	return &cache{
-		sets:    sets,
-		ways:    ways,
-		setMask: uint64(sets - 1),
-		lines:   make([]cacheLine, linesTotal),
-	}
+	c.sets = linesTotal / ways
+	c.ways = ways
+	c.setMask = uint64(c.sets - 1)
+	c.lines = make([]cacheLine, linesTotal)
+	c.tick = 0
 }
 
+// reset invalidates every line without releasing storage.
+func (c *cache) reset() {
+	clear(c.lines)
+	c.tick = 0
+}
+
+func newCache(sizeBytes, ways, lineSz int) *cache {
+	c := new(cache)
+	c.init(sizeBytes, ways, lineSz)
+	return c
+}
+
+// base returns the index of lineAddr's set in the flat line slice.
+func (c *cache) base(lineAddr uint64) int {
+	return int(lineAddr&c.setMask) * c.ways
+}
+
+// set returns lineAddr's set as a sub-slice (test hook; the access paths
+// below index c.lines directly).
 func (c *cache) set(lineAddr uint64) []cacheLine {
-	idx := int(lineAddr&c.setMask) * c.ways
+	idx := c.base(lineAddr)
 	return c.lines[idx : idx+c.ways]
 }
 
@@ -64,12 +88,12 @@ func (c *cache) set(lineAddr uint64) []cacheLine {
 // the LRU clock.
 func (c *cache) lookup(lineAddr uint64) *cacheLine {
 	c.tick++
-	set := c.set(lineAddr)
+	base := c.base(lineAddr)
 	tag := lineAddr / uint64(c.sets)
-	for i := range set {
-		if set[i].state != stateInvalid && set[i].tag == tag {
-			set[i].lastUse = c.tick
-			return &set[i]
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].state != stateInvalid && c.lines[i].tag == tag {
+			c.lines[i].lastUse = c.tick
+			return &c.lines[i]
 		}
 	}
 	return nil
@@ -80,20 +104,20 @@ func (c *cache) lookup(lineAddr uint64) *cacheLine {
 // (stateInvalid when no valid line was evicted).
 func (c *cache) insert(lineAddr uint64, st mesiState) (evictedAddr uint64, evictedState mesiState) {
 	c.tick++
-	set := c.set(lineAddr)
+	base := c.base(lineAddr)
 	tag := lineAddr / uint64(c.sets)
-	victim := 0
-	for i := range set {
-		if set[i].state == stateInvalid {
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].state == stateInvalid {
 			victim = i
 			break
 		}
-		if set[i].lastUse < set[victim].lastUse {
+		if c.lines[i].lastUse < c.lines[victim].lastUse {
 			victim = i
 		}
 	}
-	ev := set[victim]
-	set[victim] = cacheLine{tag: tag, state: st, lastUse: c.tick}
+	ev := c.lines[victim]
+	c.lines[victim] = cacheLine{tag: tag, state: st, lastUse: c.tick}
 	if ev.state == stateInvalid {
 		return 0, stateInvalid
 	}
@@ -103,12 +127,12 @@ func (c *cache) insert(lineAddr uint64, st mesiState) (evictedAddr uint64, evict
 
 // invalidate drops lineAddr if present, returning its previous state.
 func (c *cache) invalidate(lineAddr uint64) mesiState {
-	set := c.set(lineAddr)
+	base := c.base(lineAddr)
 	tag := lineAddr / uint64(c.sets)
-	for i := range set {
-		if set[i].state != stateInvalid && set[i].tag == tag {
-			st := set[i].state
-			set[i].state = stateInvalid
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].state != stateInvalid && c.lines[i].tag == tag {
+			st := c.lines[i].state
+			c.lines[i].state = stateInvalid
 			return st
 		}
 	}
@@ -118,13 +142,13 @@ func (c *cache) invalidate(lineAddr uint64) mesiState {
 // downgrade moves lineAddr to Shared if present in E/M, returning its
 // previous state.
 func (c *cache) downgrade(lineAddr uint64) mesiState {
-	set := c.set(lineAddr)
+	base := c.base(lineAddr)
 	tag := lineAddr / uint64(c.sets)
-	for i := range set {
-		if set[i].state != stateInvalid && set[i].tag == tag {
-			st := set[i].state
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].state != stateInvalid && c.lines[i].tag == tag {
+			st := c.lines[i].state
 			if st == stateExclusive || st == stateModified {
-				set[i].state = stateShared
+				c.lines[i].state = stateShared
 			}
 			return st
 		}
@@ -150,31 +174,113 @@ type dirEntry struct {
 	owner   int8   // core owning in M/E, -1 when none
 }
 
-// directory tracks L1 residency for every line touched so far.
+// dirSlot is one open-addressing slot: the line address plus its entry,
+// stored by value so a directory miss allocates nothing.
+type dirSlot struct {
+	key  uint64
+	ent  dirEntry
+	live bool
+}
+
+// dirInitialSlots sizes a fresh directory table. Must be a power of two;
+// typical runs touch a few thousand lines, so starting at 1k slots keeps
+// early growth cheap without wasting memory on tiny test machines.
+const dirInitialSlots = 1 << 10
+
+// directory tracks L1 residency for every line touched so far. It is a
+// value-type open-addressing (linear probing) hash table: entries are
+// stored inline in the slot array rather than as per-line heap pointers,
+// so the per-access directory lookup is allocation-free in steady state
+// and growth cost amortizes over distinct lines.
+//
+// Pointer-stability contract: the *dirEntry returned by get stays valid
+// until a LATER get call inserts a previously unseen line (which may grow
+// and rehash the table). Machine.access relies on this: it fetches the
+// accessed line's entry first (the only call that may insert), and every
+// subsequent directory lookup during that access is for an address already
+// resident in some cache — and any cached address was inserted into the
+// directory when it was first accessed, so those lookups never insert.
 type directory struct {
-	entries map[uint64]*dirEntry
+	slots []dirSlot
+	n     int // live entries
 }
 
 func newDirectory() *directory {
-	return &directory{entries: make(map[uint64]*dirEntry)}
+	d := new(directory)
+	d.init()
+	return d
 }
 
-func (d *directory) get(lineAddr uint64) *dirEntry {
-	e, ok := d.entries[lineAddr]
-	if !ok {
-		e = &dirEntry{owner: -1}
-		d.entries[lineAddr] = e
+func (d *directory) init() {
+	if d.slots == nil {
+		d.slots = make([]dirSlot, dirInitialSlots)
 	}
-	return e
+	d.reset()
 }
+
+// reset drops every entry, keeping the grown slot array for reuse.
+func (d *directory) reset() {
+	clear(d.slots)
+	d.n = 0
+}
+
+// dirHash scrambles a line address into a table index seed (Fibonacci
+// hashing: line addresses are sequential per region, so the multiply
+// spreads neighboring lines across the table).
+func dirHash(key uint64) uint64 {
+	return key * 0x9e3779b97f4a7c15
+}
+
+// get returns the entry for lineAddr, inserting a fresh one on first
+// touch. See the pointer-stability contract on directory.
+func (d *directory) get(lineAddr uint64) *dirEntry {
+	mask := uint64(len(d.slots) - 1)
+	for i := dirHash(lineAddr) & mask; ; i = (i + 1) & mask {
+		s := &d.slots[i]
+		if s.live {
+			if s.key == lineAddr {
+				return &s.ent
+			}
+			continue
+		}
+		// First touch. Grow before inserting when the table passes 3/4
+		// load — growth happens ONLY on insertion, which is what keeps
+		// previously returned entry pointers stable across lookups of
+		// existing lines.
+		if 4*(d.n+1) > 3*len(d.slots) {
+			d.grow()
+			return d.get(lineAddr)
+		}
+		s.live = true
+		s.key = lineAddr
+		s.ent = dirEntry{owner: -1}
+		d.n++
+		return &s.ent
+	}
+}
+
+// grow doubles the table and reinserts every live slot.
+func (d *directory) grow() {
+	old := d.slots
+	d.slots = make([]dirSlot, 2*len(old))
+	mask := uint64(len(d.slots) - 1)
+	for i := range old {
+		if !old[i].live {
+			continue
+		}
+		for j := dirHash(old[i].key) & mask; ; j = (j + 1) & mask {
+			if !d.slots[j].live {
+				d.slots[j] = old[i]
+				break
+			}
+		}
+	}
+}
+
+// len returns the number of tracked lines (test hook).
+func (d *directory) len() int { return d.n }
 
 func (e *dirEntry) addSharer(core int)      { e.sharers |= 1 << uint(core) }
 func (e *dirEntry) dropSharer(core int)     { e.sharers &^= 1 << uint(core) }
 func (e *dirEntry) hasSharer(core int) bool { return e.sharers&(1<<uint(core)) != 0 }
-func (e *dirEntry) sharerCount() int {
-	n := 0
-	for m := e.sharers; m != 0; m &= m - 1 {
-		n++
-	}
-	return n
-}
+func (e *dirEntry) sharerCount() int        { return bits.OnesCount64(e.sharers) }

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refEntry mirrors dirEntry with a map-based sharer set — the reference
+// implementation the value-type table and bit bookkeeping are checked
+// against.
+type refEntry struct {
+	sharers map[int]bool
+	owner   int8
+}
+
+// TestDirectoryMatchesMapReference drives the open-addressing table and a
+// plain map[uint64]*refEntry through an identical randomized op sequence
+// (get / addSharer / dropSharer / owner writes over a key set that forces
+// several growth cycles) and requires identical observable state.
+func TestDirectoryMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := newDirectory()
+	ref := map[uint64]*refEntry{}
+	refGet := func(line uint64) *refEntry {
+		e, ok := ref[line]
+		if !ok {
+			e = &refEntry{sharers: map[int]bool{}, owner: -1}
+			ref[line] = e
+		}
+		return e
+	}
+	const cores = 64
+	for i := 0; i < 20000; i++ {
+		// Cluster keys the way line addresses cluster (sequential regions)
+		// while still spanning enough distinct keys to grow the table.
+		line := uint64(rng.Intn(4))<<32 | uint64(rng.Intn(3000))
+		e, r := d.get(line), refGet(line)
+		switch rng.Intn(5) {
+		case 0:
+			core := rng.Intn(cores)
+			e.addSharer(core)
+			r.sharers[core] = true
+		case 1:
+			core := rng.Intn(cores)
+			e.dropSharer(core)
+			delete(r.sharers, core)
+		case 2:
+			owner := int8(rng.Intn(cores))
+			e.owner = owner
+			r.owner = owner
+		case 3:
+			e.owner = -1
+			e.sharers = 0
+			r.owner = -1
+			clear(r.sharers)
+		case 4:
+			core := rng.Intn(cores)
+			if e.hasSharer(core) != r.sharers[core] {
+				t.Fatalf("op %d: hasSharer(%d) mismatch on line %#x", i, core, line)
+			}
+		}
+	}
+	if d.len() != len(ref) {
+		t.Fatalf("table has %d entries, reference %d", d.len(), len(ref))
+	}
+	for line, r := range ref {
+		e := d.get(line)
+		if e.owner != r.owner {
+			t.Errorf("line %#x: owner %d, reference %d", line, e.owner, r.owner)
+		}
+		if e.sharerCount() != len(r.sharers) {
+			t.Errorf("line %#x: sharerCount %d, reference %d", line, e.sharerCount(), len(r.sharers))
+		}
+		for core := 0; core < cores; core++ {
+			if e.hasSharer(core) != r.sharers[core] {
+				t.Errorf("line %#x: hasSharer(%d) = %v, reference %v", line, core, e.hasSharer(core), r.sharers[core])
+			}
+		}
+	}
+}
+
+// TestSharerCountMatchesReference property-checks the OnesCount64 popcount
+// against a naive per-bit reference over random sharer masks.
+func TestSharerCountMatchesReference(t *testing.T) {
+	prop := func(mask uint64) bool {
+		e := dirEntry{sharers: mask}
+		n := 0
+		for core := 0; core < 64; core++ {
+			if mask&(1<<uint(core)) != 0 {
+				n++
+			}
+		}
+		return e.sharerCount() == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Edge masks the generator may not hit.
+	for _, mask := range []uint64{0, 1, 1 << 63, ^uint64(0)} {
+		e := dirEntry{sharers: mask}
+		want := 0
+		for m := mask; m != 0; m &= m - 1 {
+			want++
+		}
+		if e.sharerCount() != want {
+			t.Errorf("sharerCount(%#x) = %d, want %d", mask, e.sharerCount(), want)
+		}
+	}
+}
+
+// TestDirectoryPointerStability locks the contract Machine.access relies
+// on: entry pointers stay valid across get calls for EXISTING lines, even
+// when those calls interleave with the table sitting right at its growth
+// threshold.
+func TestDirectoryPointerStability(t *testing.T) {
+	d := newDirectory()
+	// Fill to just under the next growth so the table is as close to
+	// resizing as possible.
+	var lines []uint64
+	for i := uint64(0); int(4*(d.n+1)) <= 3*len(d.slots); i++ {
+		d.get(i << 8)
+		lines = append(lines, i<<8)
+	}
+	ptrs := make(map[uint64]*dirEntry, len(lines))
+	for _, l := range lines {
+		ptrs[l] = d.get(l)
+	}
+	// Lookups of existing lines must not move anything.
+	for _, l := range lines {
+		if d.get(l) != ptrs[l] {
+			t.Fatalf("lookup of existing line %#x moved its entry", l)
+		}
+	}
+	// Sanity: the table reports as many entries as we inserted.
+	if d.len() != len(lines) {
+		t.Fatalf("len = %d, want %d", d.len(), len(lines))
+	}
+	// An insert may grow the table and relocate entries; values survive.
+	d.get(lines[0]).addSharer(7)
+	d.get(1 << 40)
+	if e := d.get(lines[0]); !e.hasSharer(7) {
+		t.Error("entry value lost across growth")
+	}
+}
+
+// TestDirectoryReset verifies reset drops entries but keeps capacity.
+func TestDirectoryReset(t *testing.T) {
+	d := newDirectory()
+	for i := uint64(0); i < 5000; i++ {
+		d.get(i).addSharer(1)
+	}
+	grown := len(d.slots)
+	if grown <= dirInitialSlots {
+		t.Fatalf("expected growth beyond %d slots, have %d", dirInitialSlots, grown)
+	}
+	d.reset()
+	if d.len() != 0 {
+		t.Fatalf("reset left %d entries", d.len())
+	}
+	if len(d.slots) != grown {
+		t.Fatalf("reset shrank the table: %d -> %d slots", grown, len(d.slots))
+	}
+	if e := d.get(3); e.owner != -1 || e.sharers != 0 {
+		t.Error("entry after reset is not fresh")
+	}
+}

@@ -1,0 +1,41 @@
+package sim
+
+import "strconv"
+
+// AppendKey appends the Go-syntax rendering of the config for engine cache
+// keys, implementing engine.KeyAppender without importing the engine
+// package. The output MUST stay byte-identical to fmt.Sprintf("%#v", c)
+// (fields in declaration order, signed ints decimal, unsigned ints
+// 0x-prefixed hex) or warm disk caches stop replaying; TestAppendKeyMatchesGoSyntax
+// locks the equivalence.
+func (c Config) AppendKey(b []byte) []byte {
+	b = append(b, "sim.Config{Cores:"...)
+	b = strconv.AppendInt(b, int64(c.Cores), 10)
+	b = append(b, ", IssueWidth:"...)
+	b = strconv.AppendInt(b, int64(c.IssueWidth), 10)
+	b = append(b, ", L1Size:"...)
+	b = strconv.AppendInt(b, int64(c.L1Size), 10)
+	b = append(b, ", L1Ways:"...)
+	b = strconv.AppendInt(b, int64(c.L1Ways), 10)
+	b = append(b, ", L1Lat:0x"...)
+	b = strconv.AppendUint(b, c.L1Lat, 16)
+	b = append(b, ", L2Size:"...)
+	b = strconv.AppendInt(b, int64(c.L2Size), 10)
+	b = append(b, ", L2Ways:"...)
+	b = strconv.AppendInt(b, int64(c.L2Ways), 10)
+	b = append(b, ", L2Lat:0x"...)
+	b = strconv.AppendUint(b, c.L2Lat, 16)
+	b = append(b, ", MemLat:0x"...)
+	b = strconv.AppendUint(b, c.MemLat, 16)
+	b = append(b, ", LineSz:"...)
+	b = strconv.AppendInt(b, int64(c.LineSz), 10)
+	b = append(b, ", HopLat:0x"...)
+	b = strconv.AppendUint(b, c.HopLat, 16)
+	b = append(b, ", BarLat:0x"...)
+	b = strconv.AppendUint(b, c.BarLat, 16)
+	b = append(b, ", InvLat:0x"...)
+	b = strconv.AppendUint(b, c.InvLat, 16)
+	b = append(b, ", XferLat:0x"...)
+	b = strconv.AppendUint(b, c.XferLat, 16)
+	return append(b, '}')
+}

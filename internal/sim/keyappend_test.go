@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestAppendKeyMatchesGoSyntax locks Config.AppendKey to fmt's %#v output:
+// the bytes feed engine cache keys, so any divergence would silently
+// invalidate warm disk caches.
+func TestAppendKeyMatchesGoSyntax(t *testing.T) {
+	cfgs := []Config{
+		{},
+		DefaultConfig(1),
+		DefaultConfig(16),
+		DefaultConfig(64),
+		{Cores: -3, IssueWidth: 7, L1Lat: 0xffffffffffffffff, MemLat: 1},
+	}
+	for _, cfg := range cfgs {
+		want := fmt.Sprintf("%#v", cfg)
+		if got := string(cfg.AppendKey(nil)); got != want {
+			t.Errorf("AppendKey = %q\n   want %#v-identical %q", got, cfg, want)
+		}
+	}
+	prop := func(cfg Config) bool {
+		return string(cfg.AppendKey(nil)) == fmt.Sprintf("%#v", cfg)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -53,29 +53,45 @@ func (r Result) PhaseCycles(name string) uint64 {
 }
 
 // PhaseNames returns the distinct phase names in first-appearance order.
+// Phase vocabularies are tiny (the paper's four sections), so a linear
+// containment scan beats allocating a seen-map per call.
 func (r Result) PhaseNames() []string {
-	seen := map[string]bool{}
+	return DistinctPhaseNames(r.Phases)
+}
+
+// DistinctPhaseNames extracts first-appearance-ordered distinct names from
+// a dynamic phase sequence without allocating any scratch map. Shared with
+// workload.SimRun, which carries the same []PhaseTime.
+func DistinctPhaseNames(phases []PhaseTime) []string {
 	var names []string
-	for _, p := range r.Phases {
-		if !seen[p.Name] {
-			seen[p.Name] = true
-			names = append(names, p.Name)
+outer:
+	for _, p := range phases {
+		for _, n := range names {
+			if n == p.Name {
+				continue outer
+			}
 		}
+		names = append(names, p.Name)
 	}
 	return names
 }
 
 // Machine simulates one CMP configuration. A Machine is single-use: create
-// with NewMachine, call Run once. (Caches and directory state are part of
-// the run.)
+// with NewMachine (or draw one from the pool with AcquireMachine), call
+// Run once. Reset returns a consumed machine to its initial state, reusing
+// every internal table — that is what makes pooling allocation-free.
 type Machine struct {
 	cfg    Config
 	net    topology.Network
-	l1     []*cache
-	l2     *cache
-	dir    *directory
-	l2Hops uint64 // average requester-to-L2-bank distance, cycles already folded in access()
-	ran    bool
+	l1     []cache // one private L1 per core, stored by value
+	l2     cache
+	dir    directory
+	l2Hops uint64      // average requester-to-L2-bank distance, cycles already folded in access()
+	cores  []coreState // per-run scheduler scratch, reused across Reset
+
+	ran      bool
+	released bool   // true while the machine sits in (or was returned to) the pool
+	gen      uint64 // bumped by every Reset; the pool's used-guard
 }
 
 // NewMachine builds a machine for the configuration.
@@ -87,18 +103,40 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg, net: net, dir: newDirectory()}
-	m.l1 = make([]*cache, cfg.Cores)
+	m := &Machine{cfg: cfg, net: net}
+	m.dir.init()
+	m.l1 = make([]cache, cfg.Cores)
 	for i := range m.l1 {
-		m.l1[i] = newCache(cfg.L1Size, cfg.L1Ways, cfg.LineSz)
+		m.l1[i].init(cfg.L1Size, cfg.L1Ways, cfg.LineSz)
 	}
-	m.l2 = newCache(cfg.L2Size, cfg.L2Ways, cfg.LineSz)
+	m.l2.init(cfg.L2Size, cfg.L2Ways, cfg.LineSz)
 	m.l2Hops = uint64(math.Ceil(net.AvgHops()))
+	m.cores = make([]coreState, cfg.Cores)
 	return m, nil
 }
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Generation reports how many times this machine has been reset — the
+// explicit used-guard behind the machine pool: a caller holding a machine
+// across a Release/Acquire cycle can detect the reuse.
+func (m *Machine) Generation() uint64 { return m.gen }
+
+// Reset returns a consumed machine to its freshly-constructed state while
+// keeping every internal table (cache tag stores, the directory slot
+// array, scheduler scratch) allocated, so a pooled machine's next Run
+// performs no setup allocations. The generation counter advances so stale
+// handles are detectable.
+func (m *Machine) Reset() {
+	for i := range m.l1 {
+		m.l1[i].reset()
+	}
+	m.l2.reset()
+	m.dir.reset()
+	m.ran = false
+	m.gen++
+}
 
 type coreState struct {
 	time    uint64
@@ -117,7 +155,10 @@ func Runs() uint64 { return runCount.Load() }
 // Run executes the program to completion and returns per-phase timing.
 func (m *Machine) Run(prog *Program) (Result, error) {
 	if m.ran {
-		return Result{}, errors.New("sim: Machine is single-use; create a new one per run")
+		return Result{}, errors.New("sim: Machine is single-use; create a new one per run (or Reset/re-Acquire it)")
+	}
+	if m.released {
+		return Result{}, errors.New("sim: Machine was released to the pool; acquire a fresh one")
 	}
 	m.ran = true
 	runCount.Add(1)
@@ -128,7 +169,8 @@ func (m *Machine) Run(prog *Program) (Result, error) {
 		return Result{}, fmt.Errorf("sim: program has %d streams, machine has %d cores", prog.Cores(), m.cfg.Cores)
 	}
 
-	cores := make([]coreState, m.cfg.Cores)
+	cores := m.cores
+	clear(cores)
 	res := Result{CoreTime: make([]uint64, m.cfg.Cores)}
 	arrivals := 0
 	phaseName := ""
@@ -136,6 +178,11 @@ func (m *Machine) Run(prog *Program) (Result, error) {
 
 	closePhase := func(now uint64) {
 		if phaseName != "" {
+			if res.Phases == nil {
+				// One right-sized allocation instead of append doublings;
+				// phase sequences are short (a few per iteration).
+				res.Phases = make([]PhaseTime, 0, 16)
+			}
 			res.Phases = append(res.Phases, PhaseTime{Name: phaseName, Cycles: now - phaseStart})
 		}
 	}
@@ -218,10 +265,16 @@ func (m *Machine) Run(prog *Program) (Result, error) {
 }
 
 // access performs one memory operation for core `id` and returns its
-// latency in cycles, updating caches, directory and counters.
+// latency in cycles, updating caches, directory and counters. In steady
+// state (the line has been touched before) it performs zero heap
+// allocations — the allocation-budget test locks that in — because the
+// directory stores entries by value and every table below is preallocated.
 func (m *Machine) access(id int, addr uint64, write bool, ctr *Counters) uint64 {
 	line := addr >> m.cfg.lineShift()
-	l1 := m.l1[id]
+	l1 := &m.l1[id]
+	// The only directory call that may insert (and thus grow the table):
+	// every later dir.get below resolves an address still resident in some
+	// cache, which is always already tracked, so e stays valid throughout.
 	e := m.dir.get(line)
 	lat := m.cfg.L1Lat
 
@@ -330,7 +383,9 @@ func (m *Machine) invalidateOthers(id int, line uint64, e *dirEntry, ctr *Counte
 }
 
 // installL1 inserts line into core id's L1 with the proper state, handling
-// the eviction side effects (directory update, dirty writeback).
+// the eviction side effects (directory update, dirty writeback). The
+// evicted line was resident in L1, so its directory entry already exists —
+// the dir.get below never inserts (see directory's stability contract).
 func (m *Machine) installL1(id int, line uint64, write bool, e *dirEntry, ctr *Counters) {
 	st := stateShared
 	if write {
@@ -354,7 +409,8 @@ func (m *Machine) installL1(id int, line uint64, write bool, e *dirEntry, ctr *C
 }
 
 // installL2 ensures line is present in the (inclusive) L2, back-invalidating
-// L1 copies of any valid victim.
+// L1 copies of any valid victim. The victim was resident in L2, so its
+// directory entry already exists — the dir.get below never inserts.
 func (m *Machine) installL2(line uint64, ctr *Counters) {
 	if m.l2.lookup(line) != nil {
 		return

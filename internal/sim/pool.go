@@ -1,0 +1,43 @@
+package sim
+
+import "mergescale/internal/shapepool"
+
+// Machine pooling. A Machine's tables (cache tag stores, the directory
+// slot array, scheduler scratch) dominate its construction cost, and every
+// engine job historically built a fresh machine per run. The pool keeps
+// consumed machines per configuration and hands them back Reset, so a
+// steady-state simulation sweep performs no machine-construction
+// allocations at all.
+//
+// Single-use safety is preserved: Run still refuses a machine that has
+// already run (until Reset), refuses a machine that sits in the pool
+// (released guard), and Reset bumps the generation counter so a caller
+// holding a stale handle across Release/Acquire can detect the reuse.
+
+// machinePools maps Config (comparable: all scalar fields) to the
+// *sync.Pool of consumed machines for that exact configuration (see
+// shapepool for why it is not a sync.Map).
+var machinePools shapepool.Registry[Config]
+
+// AcquireMachine returns a ready-to-Run machine for cfg, reusing a pooled
+// one when available and constructing a fresh one otherwise. Pair with
+// Release; an unreleased machine is simply garbage collected.
+func AcquireMachine(cfg Config) (*Machine, error) {
+	if m, _ := machinePools.For(cfg).Get().(*Machine); m != nil {
+		m.Reset()
+		m.released = false
+		return m, nil
+	}
+	return NewMachine(cfg)
+}
+
+// Release returns a machine to its configuration's pool. The machine must
+// not be used afterwards (Run on a released machine errors); releasing
+// twice is a checked no-op so defer-style cleanup stays safe.
+func (m *Machine) Release() {
+	if m == nil || m.released {
+		return
+	}
+	m.released = true
+	machinePools.For(m.cfg).Put(m)
+}

@@ -136,6 +136,27 @@ func (b *Builder) Store(id int, addr uint64) *Builder {
 	return b
 }
 
+// grow reserves room for n more ops on core id's stream with geometric
+// slack, so a line-granular range burst (the dominant append pattern —
+// hundreds of ops per call) costs at most one growth instead of one per
+// doubling.
+func (b *Builder) grow(id int, n int) {
+	s := b.prog.Streams[id]
+	if cap(s)-len(s) >= n {
+		return
+	}
+	newCap := len(s) + n + len(s)/2
+	if newCap < 2*cap(s) {
+		newCap = 2 * cap(s)
+	}
+	if newCap < 256 {
+		newCap = 256
+	}
+	ns := make([]Op, len(s), newCap)
+	copy(ns, s)
+	b.prog.Streams[id] = ns
+}
+
 // LoadRange appends line-granular loads covering [addr, addr+bytes).
 func (b *Builder) LoadRange(id int, addr, bytes uint64, lineSz int) *Builder {
 	if bytes == 0 {
@@ -144,6 +165,7 @@ func (b *Builder) LoadRange(id int, addr, bytes uint64, lineSz int) *Builder {
 	line := uint64(lineSz)
 	first := addr &^ (line - 1)
 	last := (addr + bytes - 1) &^ (line - 1)
+	b.grow(id, int((last-first)/line)+1)
 	for a := first; a <= last; a += line {
 		b.Load(id, a)
 	}
@@ -158,6 +180,7 @@ func (b *Builder) StoreRange(id int, addr, bytes uint64, lineSz int) *Builder {
 	line := uint64(lineSz)
 	first := addr &^ (line - 1)
 	last := (addr + bytes - 1) &^ (line - 1)
+	b.grow(id, int((last-first)/line)+1)
 	for a := first; a <= last; a += line {
 		b.Store(id, a)
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumentation both allocates and serializes — allocation-budget
+// assertions only arm without it.
+const raceEnabled = true

@@ -3,7 +3,7 @@ package trace
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"mergescale/internal/core"
@@ -139,7 +139,7 @@ func Extract(profiles []*Profile, opt ExtractOptions) (core.AppParams, error) {
 		return core.AppParams{}, errors.New("trace: no profiles")
 	}
 	sorted := append([]*Profile(nil), profiles...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Threads < sorted[j].Threads })
+	slices.SortFunc(sorted, func(a, b *Profile) int { return a.Threads - b.Threads })
 	base := sorted[0]
 	if base.Threads != 1 {
 		return core.AppParams{}, fmt.Errorf("trace: need a 1-thread profile, smallest is %d", base.Threads)
@@ -159,7 +159,8 @@ func Extract(profiles []*Profile, opt ExtractOptions) (core.AppParams, error) {
 	// Fit reduction growth: red(p)/red(1) = (1-fored) + fored*grow(p).
 	fored := 0.0
 	if red1 > 0 && len(sorted) > 1 {
-		var xs, ys []float64
+		xs := make([]float64, 0, len(sorted))
+		ys := make([]float64, 0, len(sorted))
 		for _, p := range sorted {
 			redP, _, _, _ := measures(p, opt.UseDuration)
 			xs = append(xs, opt.Growth.Grow(float64(p.Threads)))
@@ -192,7 +193,7 @@ func GrowthSeries(profiles []*Profile, useDuration bool) (threads []int, norm []
 		return nil, nil, errors.New("trace: no profiles")
 	}
 	sorted := append([]*Profile(nil), profiles...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Threads < sorted[j].Threads })
+	slices.SortFunc(sorted, func(a, b *Profile) int { return a.Threads - b.Threads })
 	if sorted[0].Threads != 1 {
 		return nil, nil, errors.New("trace: need a 1-thread profile")
 	}

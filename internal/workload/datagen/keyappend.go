@@ -1,0 +1,23 @@
+package datagen
+
+import "strconv"
+
+// AppendKey appends the Go-syntax rendering of the spec for engine cache
+// keys (engine.KeyAppender, satisfied without importing engine). Output
+// MUST stay byte-identical to fmt.Sprintf("%#v", s) — see the differential
+// test — because these bytes are hashed into persistent disk-cache keys.
+func (s Spec) AppendKey(b []byte) []byte {
+	b = append(b, "datagen.Spec{Label:"...)
+	b = strconv.AppendQuote(b, s.Label)
+	b = append(b, ", N:"...)
+	b = strconv.AppendInt(b, int64(s.N), 10)
+	b = append(b, ", D:"...)
+	b = strconv.AppendInt(b, int64(s.D), 10)
+	b = append(b, ", C:"...)
+	b = strconv.AppendInt(b, int64(s.C), 10)
+	b = append(b, ", Spread:"...)
+	b = strconv.AppendFloat(b, s.Spread, 'g', -1, 64)
+	b = append(b, ", Seed:0x"...)
+	b = strconv.AppendUint(b, s.Seed, 16)
+	return append(b, '}')
+}

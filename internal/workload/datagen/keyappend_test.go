@@ -1,0 +1,31 @@
+package datagen
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestAppendKeyMatchesGoSyntax locks Spec.AppendKey to %#v; the bytes are
+// hashed into persistent cache keys and must never drift.
+func TestAppendKeyMatchesGoSyntax(t *testing.T) {
+	specs := []Spec{
+		{},
+		KMeansBase,
+		FuzzyBase,
+		HopDefault,
+		{Label: "quoted \" label \\ with \n escapes", N: -1, Spread: 0.1, Seed: 0xdeadbeef},
+	}
+	for _, s := range specs {
+		want := fmt.Sprintf("%#v", s)
+		if got := string(s.AppendKey(nil)); got != want {
+			t.Errorf("AppendKey = %q, want %q", got, want)
+		}
+	}
+	prop := func(s Spec) bool {
+		return string(s.AppendKey(nil)) == fmt.Sprintf("%#v", s)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -90,11 +90,11 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 		return nil, nil, fmt.Errorf("fuzzy: K=%d exceeds N=%d", k, n)
 	}
 	prof := trace.NewProfile("fuzzy", threads)
-	pool, err := parallel.NewPool(threads)
+	pool, err := parallel.AcquirePool(threads)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer pool.Close()
+	defer pool.Release()
 
 	var tInit *trace.Timer
 	if timing {
@@ -104,7 +104,8 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 	copy(centers, ds.Points[:k*d])
 	assign := make([]int, n)
 	width := k * (d + 1) // weighted coordinate sums + weight sums
-	pv := parallel.NewPrivatized(threads, width)
+	pv := parallel.AcquirePrivatized(threads, width)
+	defer pv.Release()
 	sums := make([]float64, width)
 	if timing {
 		tInit.Stop()
@@ -112,55 +113,56 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 	prof.AddWork(trace.SecInit, float64(k*d))
 
 	// Scratch membership buffers, one per thread (avoids allocation in the
-	// hot loop).
-	scratch := make([][]float64, threads)
-	for i := range scratch {
-		scratch[i] = make([]float64, k)
-	}
+	// hot loop); drawn from the privatized-buffer pool like the partials.
+	memb := parallel.AcquirePrivatized(threads, k)
+	defer memb.Release()
 
+	// The parallel-phase body reads only iteration-stable state (centers is
+	// updated in place), so one closure serves every iteration.
+	parBody := func(id, lo, hi int) {
+		buf := pv.Buf(id)
+		inv := memb.Buf(id)
+		for i := lo; i < hi; i++ {
+			pt := ds.Points[i*d : (i+1)*d]
+			// Inverse squared distances.
+			sumInv := 0.0
+			for c := 0; c < k; c++ {
+				ctr := centers[c*d : (c+1)*d]
+				dist := 0.0
+				for j := 0; j < d; j++ {
+					diff := pt[j] - ctr[j]
+					dist += diff * diff
+				}
+				if dist < epsilon {
+					dist = epsilon
+				}
+				inv[c] = 1 / dist
+				sumInv += inv[c]
+			}
+			// Memberships u_c = inv_c / sumInv; accumulate u² weights.
+			best, bestU := 0, -1.0
+			for c := 0; c < k; c++ {
+				u := inv[c] / sumInv
+				if u > bestU {
+					best, bestU = c, u
+				}
+				w2 := u * u
+				base := c * (d + 1)
+				for j := 0; j < d; j++ {
+					buf[base+j] += w2 * pt[j]
+				}
+				buf[base+d] += w2
+			}
+			assign[i] = best
+		}
+	}
 	for iter := 0; iter < cfg.Iters; iter++ {
 		pv.Reset()
 		var tPar *trace.Timer
 		if timing {
 			tPar = prof.StartTimer(trace.SecParallel)
 		}
-		pool.For(n, func(id, lo, hi int) {
-			buf := pv.Buf(id)
-			inv := scratch[id]
-			for i := lo; i < hi; i++ {
-				pt := ds.Points[i*d : (i+1)*d]
-				// Inverse squared distances.
-				sumInv := 0.0
-				for c := 0; c < k; c++ {
-					ctr := centers[c*d : (c+1)*d]
-					dist := 0.0
-					for j := 0; j < d; j++ {
-						diff := pt[j] - ctr[j]
-						dist += diff * diff
-					}
-					if dist < epsilon {
-						dist = epsilon
-					}
-					inv[c] = 1 / dist
-					sumInv += inv[c]
-				}
-				// Memberships u_c = inv_c / sumInv; accumulate u² weights.
-				best, bestU := 0, -1.0
-				for c := 0; c < k; c++ {
-					u := inv[c] / sumInv
-					if u > bestU {
-						best, bestU = c, u
-					}
-					w2 := u * u
-					base := c * (d + 1)
-					for j := 0; j < d; j++ {
-						buf[base+j] += w2 * pt[j]
-					}
-					buf[base+d] += w2
-				}
-				assign[i] = best
-			}
-		})
+		pool.For(n, parBody)
 		if timing {
 			tPar.Stop()
 		}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 
+	"mergescale/internal/shapepool"
+
 	"mergescale/internal/parallel"
 	"mergescale/internal/sim"
 	"mergescale/internal/trace"
@@ -97,6 +99,77 @@ func (gr *grid) cellCoord(cell int, out []int) {
 }
 
 // Run executes hop natively with instrumented phases.
+
+// runScratch holds Run's per-run working arrays, pooled by shape
+// ([n, cells, threads, d]) so the dozens of native runs an experiment
+// suite performs reuse their buffers instead of reallocating megabytes of
+// scratch per run. Everything is zeroed on acquire; only Result.Group
+// (returned to the caller) is freshly allocated per run.
+type runScratch struct {
+	partial          [][]int32
+	cellIdx, counts  []int32
+	order, cursor    []int32
+	parent, posOf    []int32
+	root             []int32
+	density          []float64
+	parOps           []float64
+	min, scale, maxv []float64
+}
+
+var scratchPools shapepool.Registry[[4]int]
+
+func acquireScratch(n, cells, threads, d int) *runScratch {
+	sp := scratchPools.For([4]int{n, cells, threads, d})
+	if s, _ := sp.Get().(*runScratch); s != nil {
+		s.clear()
+		return s
+	}
+	s := &runScratch{
+		partial: make([][]int32, threads),
+		cellIdx: make([]int32, n),
+		counts:  make([]int32, cells+1),
+		order:   make([]int32, n),
+		cursor:  make([]int32, cells),
+		parent:  make([]int32, n),
+		posOf:   make([]int32, n),
+		root:    make([]int32, n),
+		density: make([]float64, n),
+		parOps:  make([]float64, threads),
+		min:     make([]float64, d),
+		scale:   make([]float64, d),
+		maxv:    make([]float64, d),
+	}
+	for t := range s.partial {
+		s.partial[t] = make([]int32, cells)
+	}
+	return s
+}
+
+func (s *runScratch) release(n, cells, threads, d int) {
+	scratchPools.For([4]int{n, cells, threads, d}).Put(s)
+}
+
+// clear zeroes every buffer (memclr — no allocations); the accumulating
+// arrays (partial counts, density, parOps, counts) rely on it, the rest is
+// cleared for uniformity.
+func (s *runScratch) clear() {
+	for t := range s.partial {
+		clear(s.partial[t])
+	}
+	clear(s.cellIdx)
+	clear(s.counts)
+	clear(s.order)
+	clear(s.cursor)
+	clear(s.parent)
+	clear(s.posOf)
+	clear(s.root)
+	clear(s.density)
+	clear(s.parOps)
+	clear(s.min)
+	clear(s.scale)
+	clear(s.maxv)
+}
+
 func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *trace.Profile, error) {
 	if threads < 1 {
 		return nil, nil, errors.New("hop: threads must be >= 1")
@@ -106,11 +179,11 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 		return nil, nil, fmt.Errorf("hop: dimensionality %d too high for grid neighbors", d)
 	}
 	prof := trace.NewProfile("hop", threads)
-	pool, err := parallel.NewPool(threads)
+	pool, err := parallel.AcquirePool(threads)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer pool.Close()
+	defer pool.Release()
 
 	// ---- init: bounding box and grid geometry (excluded from serial
 	// fraction, as the paper subtracts initialization).
@@ -130,9 +203,11 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 	for j := 0; j < d; j++ {
 		gr.cells *= gr.g
 	}
-	gr.min = make([]float64, d)
-	gr.scale = make([]float64, d)
-	maxv := make([]float64, d)
+	scr := acquireScratch(n, gr.cells, threads, d)
+	defer scr.release(n, gr.cells, threads, d)
+	gr.min = scr.min
+	gr.scale = scr.scale
+	maxv := scr.maxv
 	for j := 0; j < d; j++ {
 		gr.min[j] = math.MaxFloat64
 		maxv[j] = -math.MaxFloat64
@@ -162,11 +237,8 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 
 	// ---- parallel: binning (the tree-construction kernel). Each thread
 	// counts its chunk into a private cell-count array.
-	partial := make([][]int32, threads)
-	for t := range partial {
-		partial[t] = make([]int32, gr.cells)
-	}
-	cellIdx := make([]int32, n)
+	partial := scr.partial
+	cellIdx := scr.cellIdx
 	var tPar *trace.Timer
 	if timing {
 		tPar = prof.StartTimer(trace.SecParallel)
@@ -191,7 +263,7 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 	if timing {
 		tRed = prof.StartTimer(trace.SecReduction)
 	}
-	counts := make([]int32, gr.cells+1)
+	counts := scr.counts
 	for t := 0; t < threads; t++ {
 		pc := partial[t]
 		for c, v := range pc {
@@ -213,8 +285,8 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 	for c := 0; c < gr.cells; c++ {
 		gr.start[c+1] += gr.start[c]
 	}
-	gr.order = make([]int32, n)
-	cursor := make([]int32, gr.cells)
+	gr.order = scr.order
+	cursor := scr.cursor
 	for i := 0; i < n; i++ {
 		c := cellIdx[i]
 		gr.order[gr.start[c]+cursor[c]] = int32(i)
@@ -227,8 +299,8 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 
 	// ---- parallel: density estimation over neighbor cells, then hop to
 	// the densest neighbor. Work is counted exactly per thread.
-	density := make([]float64, n)
-	parent := make([]int32, n)
+	density := scr.density
+	parent := scr.parent
 	radius2 := 0.0
 	for j := 0; j < d; j++ {
 		radius2 += gr.scale[j] * gr.scale[j]
@@ -237,7 +309,7 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 	if maxNbr <= 0 {
 		maxNbr = 64
 	}
-	parOps := make([]float64, threads)
+	parOps := scr.parOps
 
 	// Candidates for a point at sorted position s are the window
 	// [s-w, s+w] of the cell-sorted order: the grid sort places spatial
@@ -344,7 +416,7 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 		}
 		return threads - 1
 	}
-	posOf := make([]int32, n) // point -> position in sorted order
+	posOf := scr.posOf // point -> position in sorted order
 	for s := 0; s < n; s++ {
 		posOf[gr.order[s]] = int32(s)
 	}
@@ -367,7 +439,7 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 	if timing {
 		tSer = prof.StartTimer(trace.SecSerial)
 	}
-	root := make([]int32, n)
+	root := scr.root
 	var find func(i int32) int32
 	find = func(i int32) int32 {
 		if parent[i] == i {
@@ -377,10 +449,14 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 		parent[i] = r
 		return r
 	}
-	groups := map[int32]bool{}
+	groups := 0
 	for i := 0; i < n; i++ {
 		root[i] = find(int32(i))
-		groups[root[i]] = true
+	}
+	for i := 0; i < n; i++ {
+		if parent[i] == int32(i) {
+			groups++
+		}
 	}
 	if timing {
 		tSer.Stop()
@@ -391,7 +467,7 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 	for i := range root {
 		out[i] = int(root[i])
 	}
-	return &Result{Group: out, Groups: len(groups)}, prof, nil
+	return &Result{Group: out, Groups: groups}, prof, nil
 }
 
 // RunNative implements workload.Workload.

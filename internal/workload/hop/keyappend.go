@@ -1,0 +1,14 @@
+package hop
+
+import "strconv"
+
+// AppendKey appends the Go-syntax rendering of the config for engine cache
+// keys (engine.KeyAppender). Must stay byte-identical to %#v — these bytes
+// are hashed into persistent disk-cache keys.
+func (c Config) AppendKey(b []byte) []byte {
+	b = append(b, "hop.Config{CellsPerDim:"...)
+	b = strconv.AppendInt(b, int64(c.CellsPerDim), 10)
+	b = append(b, ", MaxNeighbors:"...)
+	b = strconv.AppendInt(b, int64(c.MaxNeighbors), 10)
+	return append(b, '}')
+}

@@ -1,0 +1,19 @@
+package hop
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendKeyMatchesGoSyntax(t *testing.T) {
+	for _, c := range []Config{{}, DefaultConfig(), {CellsPerDim: -4, MaxNeighbors: 129}} {
+		if got, want := string(c.AppendKey(nil)), fmt.Sprintf("%#v", c); got != want {
+			t.Errorf("AppendKey = %q, want %q", got, want)
+		}
+	}
+	prop := func(c Config) bool { return string(c.AppendKey(nil)) == fmt.Sprintf("%#v", c) }
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

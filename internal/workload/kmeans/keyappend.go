@@ -1,0 +1,16 @@
+package kmeans
+
+import "strconv"
+
+// AppendKey appends the Go-syntax rendering of the config for engine cache
+// keys (engine.KeyAppender). Must stay byte-identical to %#v — these bytes
+// are hashed into persistent disk-cache keys.
+func (c Config) AppendKey(b []byte) []byte {
+	b = append(b, "kmeans.Config{K:"...)
+	b = strconv.AppendInt(b, int64(c.K), 10)
+	b = append(b, ", Iters:"...)
+	b = strconv.AppendInt(b, int64(c.Iters), 10)
+	b = append(b, ", Strategy:"...)
+	b = strconv.AppendInt(b, int64(c.Strategy), 10)
+	return append(b, '}')
+}

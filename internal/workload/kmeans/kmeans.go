@@ -87,11 +87,11 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 	}
 
 	prof := trace.NewProfile("kmeans", threads)
-	pool, err := parallel.NewPool(threads)
+	pool, err := parallel.AcquirePool(threads)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer pool.Close()
+	defer pool.Release()
 
 	// --- init: centers start at the first K points (MineBench behaviour).
 	var tInit *trace.Timer
@@ -102,7 +102,8 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 	copy(centers, ds.Points[:k*d])
 	assign := make([]int, n)
 	width := k * (d + 1) // per-cluster: D coordinate sums + 1 count
-	pv := parallel.NewPrivatized(threads, width)
+	pv := parallel.AcquirePrivatized(threads, width)
+	defer pv.Release()
 	sums := make([]float64, width)
 	newCenters := make([]float64, k*d)
 	if timing {
@@ -111,6 +112,32 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 	prof.AddWork(trace.SecInit, float64(k*d))
 
 	delta := 0.0
+	// The parallel-phase body reads only iteration-stable state (centers is
+	// updated in place), so one closure serves every iteration.
+	assignBody := func(id, lo, hi int) {
+		buf := pv.Buf(id)
+		for i := lo; i < hi; i++ {
+			pt := ds.Points[i*d : (i+1)*d]
+			best, bestDist := 0, math.MaxFloat64
+			for c := 0; c < k; c++ {
+				ctr := centers[c*d : (c+1)*d]
+				dist := 0.0
+				for j := 0; j < d; j++ {
+					diff := pt[j] - ctr[j]
+					dist += diff * diff
+				}
+				if dist < bestDist {
+					best, bestDist = c, dist
+				}
+			}
+			assign[i] = best
+			base := best * (d + 1)
+			for j := 0; j < d; j++ {
+				buf[base+j] += pt[j]
+			}
+			buf[base+d]++
+		}
+	}
 	for iter := 0; iter < cfg.Iters; iter++ {
 		// --- parallel phase: assign points, accumulate private partials.
 		pv.Reset()
@@ -118,30 +145,7 @@ func Run(ds *datagen.Dataset, cfg Config, threads int, timing bool) (*Result, *t
 		if timing {
 			tPar = prof.StartTimer(trace.SecParallel)
 		}
-		pool.For(n, func(id, lo, hi int) {
-			buf := pv.Buf(id)
-			for i := lo; i < hi; i++ {
-				pt := ds.Points[i*d : (i+1)*d]
-				best, bestDist := 0, math.MaxFloat64
-				for c := 0; c < k; c++ {
-					ctr := centers[c*d : (c+1)*d]
-					dist := 0.0
-					for j := 0; j < d; j++ {
-						diff := pt[j] - ctr[j]
-						dist += diff * diff
-					}
-					if dist < bestDist {
-						best, bestDist = c, dist
-					}
-				}
-				assign[i] = best
-				base := best * (d + 1)
-				for j := 0; j < d; j++ {
-					buf[base+j] += pt[j]
-				}
-				buf[base+d]++
-			}
-		})
+		pool.For(n, assignBody)
 		if timing {
 			tPar.Stop()
 		}

@@ -5,6 +5,8 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"strconv"
+	"sync"
 
 	"mergescale/internal/engine"
 	"mergescale/internal/sim"
@@ -35,15 +37,7 @@ type SimRun struct {
 // PhaseNames returns the distinct phase names in first-appearance order,
 // mirroring sim.Result.
 func (r SimRun) PhaseNames() []string {
-	seen := map[string]bool{}
-	var names []string
-	for _, p := range r.Phases {
-		if !seen[p.Name] {
-			seen[p.Name] = true
-			names = append(names, p.Name)
-		}
-	}
-	return names
+	return sim.DistinctPhaseNames(r.Phases)
 }
 
 // PhaseCycles sums the cycles of all dynamic instances of the named phase,
@@ -64,18 +58,43 @@ func (r SimRun) Profile() (*trace.Profile, error) {
 	return phasesToProfile(r.Workload, r.Cores, r.Phases)
 }
 
-// RunSim compiles the workload, constructs a fresh single-use sim.Machine
-// (one Run consumes a machine — never share one across jobs), runs it
-// once, and strips the result down to a cacheable SimRun.
-func RunSim(w Workload, ds *datagen.Dataset, cfg sim.Config, scale int) (SimRun, error) {
+// programs memoizes compiled simulator programs by SimRunKey: program
+// construction is deterministic for a key, a Machine only reads the
+// program, and repeated runs of the same configuration (benchmarks, serve
+// traffic with caching disabled) would otherwise recompile identical IR.
+// Memory is bounded by the distinct simulation configs the process runs.
+var programs sync.Map // key string -> *sim.Program
+
+// simProgram compiles (or recalls) the program for one simulated run.
+func simProgram(w Workload, ds *datagen.Dataset, cfg sim.Config, scale int) (*sim.Program, error) {
+	key := SimRunKey(w, ds.Spec, cfg, scale)
+	if p, ok := programs.Load(key); ok {
+		return p.(*sim.Program), nil
+	}
 	prog, err := w.BuildProgram(ds, cfg, scale)
 	if err != nil {
-		return SimRun{}, err
+		return nil, err
 	}
-	m, err := sim.NewMachine(cfg)
+	programs.Store(key, prog)
+	return prog, nil
+}
+
+// RunSim compiles the workload, draws a machine for cfg from the machine
+// pool (equivalent to a fresh single-use sim.Machine — the pool hands out
+// Reset machines and Run still refuses reuse without Reset), runs it once,
+// and strips the result down to a cacheable SimRun. The machine returns to
+// the pool on every path and the compiled program is memoized, so
+// steady-state sweeps construct no machines and compile no programs.
+func RunSim(w Workload, ds *datagen.Dataset, cfg sim.Config, scale int) (SimRun, error) {
+	prog, err := simProgram(w, ds, cfg, scale)
 	if err != nil {
 		return SimRun{}, err
 	}
+	m, err := sim.AcquireMachine(cfg)
+	if err != nil {
+		return SimRun{}, err
+	}
+	defer m.Release()
 	res, err := m.Run(prog)
 	if err != nil {
 		return SimRun{}, err
@@ -94,9 +113,19 @@ func RunSim(w Workload, ds *datagen.Dataset, cfg sim.Config, scale int) (SimRun,
 // everything RunSim's output depends on — workload identity and tunables
 // (Params), the data-set spec (generation is deterministic per spec), the
 // full machine config, and the scale divisor — and nothing else, per the
-// engine's no-pointers/no-maps key rule.
+// engine's no-pointers/no-maps key rule. Built through the typed KeyWriter
+// API (byte-identical to the engine.Key("sim-run", ...) form it replaced —
+// the golden-key tests pin that) so per-submission key construction does
+// not box its parts.
 func SimRunKey(w Workload, spec datagen.Spec, cfg sim.Config, scale int) string {
-	return engine.Key("sim-run", w.Name(), w.Params(), spec, cfg, scale)
+	kw := engine.AcquireKeyWriter()
+	kw.WriteString("sim-run")
+	kw.WriteString(w.Name())
+	kw.WritePart(w.Params())
+	engine.WriteAppender(kw, spec)
+	engine.WriteAppender(kw, cfg)
+	kw.WriteInt(scale)
+	return kw.SumRelease()
 }
 
 // SimRunsEngine fans one engine job per machine configuration, so each
@@ -122,7 +151,7 @@ func SimRunsEngine(ctx context.Context, eng *engine.Engine, w Workload, ds *data
 	for i, cfg := range cfgs {
 		cfg := cfg
 		jobs[i] = engine.Job{
-			ID:  fmt.Sprintf("sim:%s/p=%d", w.Name(), cfg.Cores),
+			ID:  "sim:" + w.Name() + "/p=" + strconv.Itoa(cfg.Cores),
 			Key: SimRunKey(w, ds.Spec, cfg, scale),
 			Fn: func(context.Context) (any, error) {
 				return RunSim(w, ds, cfg, scale)
@@ -152,19 +181,32 @@ func defaultConfigs(coreCounts []int) []sim.Config {
 	return cfgs
 }
 
+// profiles memoizes the trace.Profile derived from each cached SimRun,
+// keyed by the run's SimRunKey. Several experiments derive profiles from
+// the same runs; the consumers (trace.Extract, GrowthSeries,
+// ModelAccuracy) are read-only, so sharing the derived profile is safe.
+var profiles sync.Map // key string -> *trace.Profile
+
 // SimProfilesEngine is the engine-sharded SimProfiles: one job per core
 // count, each independently cached. A nil eng degrades to serial runs.
 func SimProfilesEngine(ctx context.Context, eng *engine.Engine, w Workload, ds *datagen.Dataset, coreCounts []int, scale int) ([]*trace.Profile, error) {
-	runs, err := SimRunsEngine(ctx, eng, w, ds, defaultConfigs(coreCounts), scale)
+	cfgs := defaultConfigs(coreCounts)
+	runs, err := SimRunsEngine(ctx, eng, w, ds, cfgs, scale)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*trace.Profile, len(runs))
 	for i, r := range runs {
+		key := SimRunKey(w, ds.Spec, cfgs[i], scale)
+		if p, ok := profiles.Load(key); ok {
+			out[i] = p.(*trace.Profile)
+			continue
+		}
 		p, err := r.Profile()
 		if err != nil {
 			return nil, err
 		}
+		profiles.Store(key, p)
 		out[i] = p
 	}
 	return out, nil

@@ -60,17 +60,21 @@ func SimProfile(w Workload, ds *datagen.Dataset, cfg sim.Config, scale int) (*tr
 	return r.Profile()
 }
 
+// sectionByPhase maps simulator phase names onto trace sections. Hoisted
+// to package scope so phasesToProfile (on the per-job result path) does
+// not rebuild the map per call.
+var sectionByPhase = map[string]trace.Section{
+	"init":      trace.SecInit,
+	"parallel":  trace.SecParallel,
+	"reduction": trace.SecReduction,
+	"serial":    trace.SecSerial,
+}
+
 // phasesToProfile maps simulator phase cycles onto trace sections.
 func phasesToProfile(name string, cores int, phases []sim.PhaseTime) (*trace.Profile, error) {
 	p := trace.NewProfile(name, cores)
-	known := map[string]trace.Section{
-		"init":      trace.SecInit,
-		"parallel":  trace.SecParallel,
-		"reduction": trace.SecReduction,
-		"serial":    trace.SecSerial,
-	}
 	for _, ph := range phases {
-		sec, ok := known[ph.Name]
+		sec, ok := sectionByPhase[ph.Name]
 		if !ok {
 			return nil, fmt.Errorf("workload: unknown phase %q in simulation result", ph.Name)
 		}

@@ -22,6 +22,14 @@ go test -race ./...
 echo "== go test -bench (1 iteration) =="
 go test -bench=. -benchtime=1x -run '^$' .
 
+echo "== sim hot-path benchmarks (1 iteration smoke) =="
+go test -bench BenchmarkSim -benchtime=1x -run '^$' ./internal/sim
+
+echo "== allocation budget (without -race: its instrumentation allocates) =="
+# The -race suite above skips the AllocsPerRun assertions; this pass arms
+# them, failing CI if the steady-state access loop ever allocates again.
+go test -run 'SteadyStateZeroAllocs' -count=1 ./internal/sim
+
 echo "== cold/warm disk-cache determinism =="
 # A full -quick `run all` twice against one fresh cache dir: the warm run
 # must execute zero jobs and render byte-for-byte identical output.
