@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mergescale/internal/load"
+)
+
+// runLoad drives the trace-driven load harness (internal/load) against a
+// running `mergescale serve`: the JSON report goes to stdout (or -out),
+// a one-line human summary to stderr. Exit codes: 0 clean, 1 run or
+// write failure, 2 usage, 3 clean run but with request errors (so CI can
+// distinguish "the harness broke" from "the server misbehaved").
+func runLoad(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mergescale load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baseURL     = fs.String("url", "", "base URL of a running mergescale serve, e.g. http://127.0.0.1:8080 (required)")
+		profile     = fs.String("profile", "uniform", "request profile: uniform | powerlaw | burst")
+		targetsF    = fs.String("targets", "", "comma-separated /run targets (ids or all); empty discovers ids from /experiments")
+		formatsF    = fs.String("formats", "text", "comma-separated render-format mix")
+		concurrency = fs.Int("concurrency", 8, "concurrent closed-loop workers")
+		requests    = fs.Int("requests", 0, "trace length (0 with -for 0 means 100)")
+		runFor      = fs.Duration("for", 0, "issue requests for this long instead of a fixed -requests count")
+		seed        = fs.Int64("seed", 1, "trace seed (deterministic request sequence)")
+		alpha       = fs.Float64("alpha", 1.5, "power-law skew for -profile powerlaw (Zipf s, must be > 1)")
+		burstSize   = fs.Int("burstsize", 0, "requests per wave for -profile burst (0 = concurrency)")
+		burstGap    = fs.Duration("burstgap", 100*time.Millisecond, "idle gap between waves for -profile burst")
+		outPath     = fs.String("out", "", "write the JSON report to FILE instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "mergescale load: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	if *baseURL == "" {
+		fmt.Fprintln(stderr, "mergescale load: -url is required (a running `mergescale serve` address)")
+		return 2
+	}
+	if *concurrency < 1 {
+		fmt.Fprintf(stderr, "mergescale load: -concurrency must be >= 1 (got %d)\n", *concurrency)
+		return 2
+	}
+	if *requests < 0 || *runFor < 0 || *burstSize < 0 || *burstGap < 0 {
+		fmt.Fprintln(stderr, "mergescale load: -requests, -for, -burstsize and -burstgap must be >= 0")
+		return 2
+	}
+	if *requests > 0 && *runFor > 0 {
+		fmt.Fprintln(stderr, "mergescale load: -requests and -for are mutually exclusive")
+		return 2
+	}
+
+	var targets []string
+	if *targetsF != "" {
+		for _, t := range strings.Split(*targetsF, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targets = append(targets, t)
+			}
+		}
+	}
+	var formats []string
+	for _, f := range strings.Split(*formatsF, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			formats = append(formats, f)
+		}
+	}
+
+	// Ctrl-C / SIGTERM stops issuing requests and reports what was
+	// measured so far as an error (partial numbers must not be mistaken
+	// for a full protocol run).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := load.Run(ctx, load.Config{
+		BaseURL:     *baseURL,
+		Targets:     targets,
+		Formats:     formats,
+		Profile:     load.Profile(*profile),
+		Concurrency: *concurrency,
+		Requests:    *requests,
+		Duration:    *runFor,
+		Seed:        *seed,
+		Alpha:       *alpha,
+		BurstSize:   *burstSize,
+		BurstGap:    *burstGap,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "mergescale load: %v\n", err)
+		return 1
+	}
+
+	out := stdout
+	var outFile *os.File
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "mergescale load: %v\n", err)
+			return 1
+		}
+		outFile = f
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintf(stderr, "mergescale load: %v\n", err)
+		return 1
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fmt.Fprintf(stderr, "mergescale load: %v\n", err)
+			return 1
+		}
+	}
+
+	fmt.Fprintf(stderr,
+		"load: %s profile, %d requests in %.2fs (%.1f req/s), %d errors; cold p50/p95/p99 %.1f/%.1f/%.1f ms (n=%d), warm %.2f/%.2f/%.2f ms (n=%d)\n",
+		res.Profile, res.Requests, res.DurationSeconds, res.ReqPerSec, res.Errors,
+		res.Cold.P50Ms, res.Cold.P95Ms, res.Cold.P99Ms, res.Cold.Requests,
+		res.Warm.P50Ms, res.Warm.P95Ms, res.Warm.P99Ms, res.Warm.Requests)
+	if res.Errors > 0 {
+		return 3
+	}
+	return 0
+}

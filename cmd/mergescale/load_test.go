@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mergescale/internal/engine"
+	"mergescale/internal/experiments"
+	"mergescale/internal/serve"
+)
+
+// TestLoadUsageErrors: the load subcommand validates its flags without
+// issuing a single request.
+func TestLoadUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"load"}, "-url is required"},
+		{[]string{"load", "-url", "http://x", "extra"}, "unexpected arguments"},
+		{[]string{"load", "-url", "http://x", "-concurrency", "0"}, "-concurrency must be >= 1"},
+		{[]string{"load", "-url", "http://x", "-requests", "-1"}, "must be >= 0"},
+		{[]string{"load", "-url", "http://x", "-requests", "5", "-for", "1s"}, "mutually exclusive"},
+		// Global flags are render/engine options; they do not apply to the
+		// client-side harness and must be rejected, not silently dropped.
+		{[]string{"-quick", "load", "-url", "http://x"}, "does not apply to load"},
+		{[]string{"-format", "json", "load", "-url", "http://x"}, "does not apply to load"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(tc.args, &out, &errOut); code != 2 {
+			t.Fatalf("%v exit code = %d, want 2 (stderr: %s)", tc.args, code, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), tc.want) {
+			t.Fatalf("%v: stderr %q missing %q", tc.args, errOut.String(), tc.want)
+		}
+	}
+}
+
+// TestLoadEndToEnd drives the real subcommand against an in-process
+// server: the JSON report must parse, count every request, and split
+// cold from warm.
+func TestLoadEndToEnd(t *testing.T) {
+	srv := &serve.Server{
+		Engine:      engine.New(engine.Config{Workers: 4}),
+		Opt:         experiments.Options{Quick: true},
+		Experiments: experiments.Registry(),
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	args := []string{"load", "-url", ts.URL, "-targets", "fig4", "-requests", "6", "-concurrency", "2", "-seed", "3"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("load exit code = %d, stderr: %s", code, errOut.String())
+	}
+	var res struct {
+		Requests int            `json:"requests"`
+		Errors   int            `json:"errors"`
+		Statuses map[string]int `json:"status_counts"`
+		Cold     struct {
+			Requests int `json:"requests"`
+		} `json:"cold"`
+		Warm struct {
+			Requests int `json:"requests"`
+		} `json:"warm"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("report does not parse: %v\n%.400s", err, out.String())
+	}
+	if res.Requests != 6 || res.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d, want 6/0 (statuses: %v)", res.Requests, res.Errors, res.Statuses)
+	}
+	if res.Cold.Requests == 0 || res.Warm.Requests == 0 {
+		t.Errorf("cold=%d warm=%d, want both nonzero", res.Cold.Requests, res.Warm.Requests)
+	}
+	if !strings.Contains(errOut.String(), "req/s") {
+		t.Errorf("human summary missing from stderr: %s", errOut.String())
+	}
+}
+
+// TestLoadOutFile: -out routes the JSON report to the file, leaving
+// stdout empty for the human summary split.
+func TestLoadOutFile(t *testing.T) {
+	srv := &serve.Server{
+		Engine:      engine.New(engine.Config{Workers: 2}),
+		Opt:         experiments.Options{Quick: true},
+		Experiments: experiments.Registry(),
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errOut bytes.Buffer
+	args := []string{"load", "-url", ts.URL, "-targets", "fig4", "-requests", "3", "-concurrency", "1", "-out", path}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("load -out exit code = %d, stderr: %s", code, errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("-out run still wrote %d bytes to stdout", out.Len())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("-out file is not valid JSON:\n%.200s", data)
+	}
+}
+
+// TestServeLimitFlagValidation: negative admission-control flags are
+// usage errors, not silently-disabled limits.
+func TestServeLimitFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"serve", "-ratelimit", "-1"},
+		{"serve", "-rateburst", "-1"},
+		{"serve", "-maxstreams", "-1"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Fatalf("%v exit code = %d, want 2 (stderr: %s)", args, code, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "must be >= 0") {
+			t.Fatalf("%v: expected validation error, got: %s", args, errOut.String())
+		}
+	}
+}

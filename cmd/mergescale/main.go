@@ -8,6 +8,10 @@
 //	           run <experiment-id>|all
 //	mergescale [-quick] [-duration] [-workers N] [-cachedir DIR]
 //	           [-cachettl D] [-nocache] serve [-addr HOST:PORT]
+//	           [-ratelimit N] [-rateburst N] [-maxstreams N]
+//	mergescale load -url URL [-profile P] [-targets IDS] [-formats F]
+//	           [-concurrency N] [-requests N | -for D] [-seed N] [-alpha A]
+//	           [-burstsize N] [-burstgap D] [-out FILE]
 //
 // Experiment ids follow the paper's artifact numbering (table1..table4,
 // fig2a..fig7) plus the abl-* ablations; see DESIGN.md for the index.
@@ -32,8 +36,16 @@
 // The serve subcommand boots the HTTP front end (internal/serve) over the
 // same engine and cache: GET /run/{id|all}?format=F streams each
 // experiment's rendering over chunked transfer as it resolves, with every
-// concurrent client sharing one engine's singleflight and disk cache. See
-// docs/ARCHITECTURE.md "Serving".
+// concurrent client sharing one engine's singleflight and disk cache.
+// -ratelimit/-rateburst/-maxstreams (all off by default) arm per-client
+// admission control; GET /metrics exposes Prometheus text-format
+// counters. See docs/ARCHITECTURE.md "Serving" and "Serving under load".
+//
+// The load subcommand is the trace-driven load harness (internal/load):
+// it replays a deterministic request trace (uniform, power-law, or burst)
+// against a running server and reports req/s plus p50/p95/p99 latency
+// split by render-cache temperature as JSON — the protocol behind the
+// committed BENCH_serve.json.
 package main
 
 import (
@@ -80,7 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stats    = fs.Bool("stats", false, "print engine cache/worker statistics to stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mergescale [-quick] [-format F] [-stream] [-out FILE] [-duration] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] [-stats] run <id>|all\n       mergescale [-quick] [-duration] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] serve [-addr HOST:PORT]\n       mergescale -list\n")
+		fmt.Fprintf(stderr, "usage: mergescale [-quick] [-format F] [-stream] [-out FILE] [-duration] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] [-stats] run <id>|all\n       mergescale [-quick] [-duration] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] serve [-addr HOST:PORT] [-ratelimit N] [-rateburst N] [-maxstreams N]\n       mergescale load -url URL [-profile uniform|powerlaw|burst] [-targets IDS] [-formats F] [-concurrency N] [-requests N | -for D] [-seed N] [-alpha A] [-out FILE]\n       mergescale -list\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -110,6 +122,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	rest := fs.Args()
+	if len(rest) >= 1 && rest[0] == "load" {
+		// Every global flag is either a rendering flag or server-side
+		// state; the load generator takes its whole configuration through
+		// its own flags, so any global flag here is a mistake.
+		conflict := ""
+		fs.Visit(func(f *flag.Flag) {
+			if conflict == "" {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(stderr, "mergescale: -%s does not apply to load (see mergescale load -h)\n", conflict)
+			return 2
+		}
+		return runLoad(rest[1:], stdout, stderr)
+	}
 	if len(rest) >= 1 && rest[0] == "serve" {
 		// The rendering flags are per-request (format) or meaningless for a
 		// long-running server (stream, out, csv, stats); silently ignoring
@@ -188,8 +216,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	// Ctrl-C cancels in-flight jobs instead of killing mid-write.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or SIGTERM cancels in-flight jobs instead of killing
+	// mid-write — SIGTERM matters in containers, where the runtime sends
+	// it on stop and an untrapped run would die without cancelling jobs
+	// (serve has always trapped both; run now matches).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	cfg := engine.Config{Workers: *workers, DisableCache: *nocache}
@@ -279,6 +310,9 @@ func runServe(args []string, cfg serveConfig, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mergescale serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", ":8080", "HTTP listen address (host:port; port 0 picks a free port)")
+	ratelimit := fs.Float64("ratelimit", 0, "per-client request rate limit in req/s; over-limit requests get 429 (0 = off)")
+	rateburst := fs.Int("rateburst", 0, "rate-limiter burst size (0 = ceil(ratelimit), min 1)")
+	maxstreams := fs.Int("maxstreams", 0, "max concurrently executing /run streams; excess requests get 503 (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -287,6 +321,10 @@ func runServe(args []string, cfg serveConfig, stderr io.Writer) int {
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintf(stderr, "mergescale serve: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	if *ratelimit < 0 || *rateburst < 0 || *maxstreams < 0 {
+		fmt.Fprintf(stderr, "mergescale serve: -ratelimit, -rateburst and -maxstreams must be >= 0\n")
 		return 2
 	}
 
@@ -302,10 +340,13 @@ func runServe(args []string, cfg serveConfig, stderr io.Writer) int {
 		}
 	}
 	srv := &serve.Server{
-		Engine: engine.New(engCfg),
-		Store:  store,
-		Opt:    experiments.Options{Quick: cfg.quick, UseDuration: cfg.duration},
-		Log:    log.New(stderr, "mergescale: ", 0),
+		Engine:     engine.New(engCfg),
+		Store:      store,
+		Opt:        experiments.Options{Quick: cfg.quick, UseDuration: cfg.duration},
+		Log:        log.New(stderr, "mergescale: ", 0),
+		RateLimit:  *ratelimit,
+		RateBurst:  *rateburst,
+		MaxStreams: *maxstreams,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

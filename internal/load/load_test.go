@@ -1,0 +1,250 @@
+package load
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"mergescale/internal/engine"
+	"mergescale/internal/experiments"
+	"mergescale/internal/report"
+	"mergescale/internal/serve"
+)
+
+// testServer boots a serve.Server over fast fake experiments, so load
+// tests measure the harness, not the simulator.
+func testServer(t *testing.T, ids ...string) *httptest.Server {
+	t.Helper()
+	exps := make([]experiments.Experiment, len(ids))
+	for i, id := range ids {
+		id := id
+		exps[i] = experiments.Experiment{
+			ID:    id,
+			Title: "fake " + id,
+			Run: func(ctx context.Context, opt experiments.Options) (*report.Document, error) {
+				d := &report.Document{ID: id, Title: "fake " + id}
+				d.AddNote("body of " + id)
+				return d, nil
+			},
+		}
+	}
+	srv := &serve.Server{
+		Engine:      engine.New(engine.Config{Workers: 4}),
+		Opt:         experiments.Options{Quick: true},
+		Experiments: exps,
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunReportsColdAndWarm(t *testing.T) {
+	ts := testServer(t, "alpha", "beta", "gamma")
+	res, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Targets:     []string{"alpha", "beta", "gamma", "all"},
+		Formats:     []string{"text", "json"},
+		Concurrency: 4,
+		Requests:    40,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 40 {
+		t.Errorf("requests = %d, want 40", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0 (statuses: %v)", res.Errors, res.StatusCounts)
+	}
+	if res.StatusCounts["200"] != 40 {
+		t.Errorf("status counts = %v, want 40x 200", res.StatusCounts)
+	}
+	// 4 targets x 2 formats = 8 distinct keys; the first request per key
+	// is cold, everything else warm. Exact counts depend on scheduling
+	// (concurrent cold requests coalesce), but both classes must appear
+	// and partition the successes.
+	if res.Cold.Requests == 0 || res.Warm.Requests == 0 {
+		t.Errorf("cold=%d warm=%d, want both nonzero", res.Cold.Requests, res.Warm.Requests)
+	}
+	if res.Cold.Requests+res.Warm.Requests != 40 {
+		t.Errorf("cold(%d)+warm(%d) != 40", res.Cold.Requests, res.Warm.Requests)
+	}
+	if res.Cold.Requests > 8 {
+		t.Errorf("cold = %d, want <= 8 distinct keys", res.Cold.Requests)
+	}
+	if res.ReqPerSec <= 0 || res.DurationSeconds <= 0 {
+		t.Errorf("throughput not measured: %v req/s over %vs", res.ReqPerSec, res.DurationSeconds)
+	}
+	if res.BodyBytes == 0 {
+		t.Error("no body bytes recorded")
+	}
+	for _, b := range []Bucket{res.Cold, res.Warm, res.All} {
+		if b.Requests == 0 {
+			continue
+		}
+		if b.P50Ms <= 0 || b.P50Ms > b.P95Ms || b.P95Ms > b.P99Ms || b.P99Ms > b.MaxMs {
+			t.Errorf("percentiles out of order: %+v", b)
+		}
+	}
+}
+
+func TestRunDiscoversTargets(t *testing.T) {
+	ts := testServer(t, "one", "two")
+	res, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Concurrency: 2,
+		Requests:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"one", "two"}; !reflect.DeepEqual(res.Targets, want) {
+		t.Errorf("discovered targets = %v, want %v", res.Targets, want)
+	}
+	if res.Errors != 0 || res.Requests != 10 {
+		t.Errorf("requests=%d errors=%d, want 10/0", res.Requests, res.Errors)
+	}
+}
+
+func TestRunDurationMode(t *testing.T) {
+	ts := testServer(t, "x")
+	res, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Targets:     []string{"x"},
+		Concurrency: 2,
+		Duration:    200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Error("duration mode issued no requests")
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0", res.Errors)
+	}
+}
+
+func TestRunBurstProfile(t *testing.T) {
+	ts := testServer(t, "x", "y")
+	res, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Targets:     []string{"x", "y"},
+		Profile:     Burst,
+		Concurrency: 4,
+		BurstSize:   4,
+		BurstGap:    time.Millisecond,
+		Requests:    12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 12 || res.Errors != 0 {
+		t.Errorf("requests=%d errors=%d, want 12/0", res.Requests, res.Errors)
+	}
+}
+
+func TestTraceDeterministicBySeed(t *testing.T) {
+	cfg := Config{
+		Targets: []string{"a", "b", "c"},
+		Formats: []string{"text", "json"},
+		Seed:    42,
+	}
+	t1, err := Trace(cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Trace(cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t1, t2) {
+		t.Error("same seed produced different traces")
+	}
+	cfg.Seed = 43
+	t3, err := Trace(cfg, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(t1, t3) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestPowerLawSkew: a zipf trace must concentrate on the head of the
+// target list — the hottest target dominates the coldest by a wide
+// margin.
+func TestPowerLawSkew(t *testing.T) {
+	targets := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"}
+	trace, err := Trace(Config{Targets: targets, Profile: PowerLaw, Alpha: 1.5, Seed: 1}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, r := range trace {
+		counts[r.Target]++
+	}
+	if counts["t0"] < 5*counts["t7"]+1 {
+		t.Errorf("power-law head t0=%d not dominating tail t7=%d", counts["t0"], counts["t7"])
+	}
+	if counts["t0"] <= counts["t1"] {
+		t.Errorf("rank 0 (%d) not hotter than rank 1 (%d)", counts["t0"], counts["t1"])
+	}
+}
+
+func TestUniformCoversTargets(t *testing.T) {
+	targets := []string{"a", "b", "c", "d"}
+	trace, err := Trace(Config{Targets: targets, Seed: 3}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, r := range trace {
+		counts[r.Target]++
+	}
+	for _, target := range targets {
+		if counts[target] < 50 { // E[100] each; 50 is a generous floor
+			t.Errorf("uniform trace starves target %s: %d/400", target, counts[target])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+	if _, err := Trace(Config{}, 1); err == nil {
+		t.Error("empty targets accepted")
+	}
+	if _, err := Trace(Config{Targets: []string{"a", "b"}, Profile: PowerLaw, Alpha: 0.5}, 1); err == nil {
+		t.Error("alpha <= 1 accepted for powerlaw")
+	}
+	if _, err := Trace(Config{Targets: []string{"a"}, Profile: Profile("nope")}, 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{50, 5}, {95, 10}, {99, 10}, {100, 10}, {10, 1}} {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("p%g = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("p50 of empty = %g, want 0", got)
+	}
+	if got := percentile([]float64{3.5}, 99); got != 3.5 {
+		t.Errorf("p99 of singleton = %g, want 3.5", got)
+	}
+	if math.IsNaN(summarize(nil).MeanMs) {
+		t.Error("empty summary produced NaN")
+	}
+}

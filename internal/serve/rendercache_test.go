@@ -2,12 +2,19 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mergescale/internal/engine"
 	"mergescale/internal/experiments"
+	"mergescale/internal/report"
 )
 
 func TestRenderCacheLRU(t *testing.T) {
@@ -32,7 +39,7 @@ func TestRenderCacheLRU(t *testing.T) {
 	if _, ok := c.get(kA); !ok {
 		t.Error("LRU evicted the recently used entry")
 	}
-	hits, misses, entries, size := c.stats()
+	hits, misses, _, entries, size := c.stats()
 	if entries != 2 {
 		t.Errorf("entries = %d, want 2", entries)
 	}
@@ -44,7 +51,7 @@ func TestRenderCacheLRU(t *testing.T) {
 	}
 	// Replacing an existing key keeps accounting exact.
 	c.put(kA, []byte("aaaaa"))
-	if _, _, entries, size := c.stats(); entries != 2 || size != int64(len("aaaaa")+len("c")) {
+	if _, _, _, entries, size := c.stats(); entries != 2 || size != int64(len("aaaaa")+len("c")) {
 		t.Errorf("after replace: entries=%d bytes=%d", entries, size)
 	}
 }
@@ -128,7 +135,7 @@ func TestRunResponseCacheSkippedOnDuration(t *testing.T) {
 			t.Fatalf("run %d = %d", i, code)
 		}
 	}
-	hits, misses, entries, _ := srv.renderedBodies.stats()
+	hits, misses, _, entries, _ := srv.renderedBodies.stats()
 	if hits != 0 || misses != 0 || entries != 0 {
 		t.Errorf("duration runs touched the render cache: hits=%d misses=%d entries=%d", hits, misses, entries)
 	}
@@ -141,4 +148,255 @@ func mustByID(t *testing.T, id string) experiments.Experiment {
 		t.Fatal(err)
 	}
 	return e
+}
+
+// TestRenderStampedeSingleRender is the ISSUE 6 regression test: N
+// concurrent identical cold /run requests must perform exactly ONE
+// render (and one engine execution) — before the render-cache
+// singleflight, every client replayed the renderer over the shared
+// documents. Observable through the /metrics render counters.
+func TestRenderStampedeSingleRender(t *testing.T) {
+	var runs atomic.Int32
+	slow := fakeExperiment("slow", func(ctx context.Context) (*report.Document, error) {
+		runs.Add(1)
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		d := &report.Document{ID: "slow", Title: "fake slow"}
+		d.AddNote("rendered once")
+		return d, nil
+	})
+	srv := &Server{
+		Engine:      engine.New(engine.Config{Workers: 4}),
+		Opt:         quick,
+		Experiments: []experiments.Experiment{slow},
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 8
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body := get(t, ts, "/run/slow")
+			if status != 200 {
+				t.Errorf("client %d: status %d", i, status)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Errorf("client %d saw different bytes than client 0", i)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("experiment executed %d times, want 1", got)
+	}
+
+	_, raw := get(t, ts, "/metrics")
+	metrics := string(raw)
+	if got := metricValue(t, metrics, "mergescale_renders_total"); got != 1 {
+		t.Errorf("renders_total = %v for %d concurrent cold clients, want 1", got, clients)
+	}
+	// Every client past the leader was either coalesced onto the
+	// in-flight render or (arriving later) served from the cache.
+	coalesced := metricValue(t, metrics, "mergescale_render_cache_coalesced_total")
+	hits := metricValue(t, metrics, "mergescale_render_cache_hits_total")
+	if coalesced+hits != clients-1 {
+		t.Errorf("coalesced(%v) + hits(%v) = %v, want %d", coalesced, hits, coalesced+hits, clients-1)
+	}
+}
+
+// TestRenderLeaderFailureWakesFollowers: when the leading render fails,
+// followers must not hang and must not serve a partial body — each
+// retries (becoming the new leader) and surfaces the error itself.
+func TestRenderLeaderFailureWakesFollowers(t *testing.T) {
+	fail := fakeExperiment("fail", func(ctx context.Context) (*report.Document, error) {
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return nil, errors.New("deterministic failure")
+	})
+	srv := &Server{
+		Engine:      engine.New(engine.Config{Workers: 4, DisableCache: true}),
+		Opt:         quick,
+		Experiments: []experiments.Experiment{fail},
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 3
+	statuses := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i], _ = get(t, ts, "/run/fail")
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("clients hung after leader failure")
+	}
+	for i, status := range statuses {
+		if status != 500 {
+			t.Errorf("client %d: status %d, want 500", i, status)
+		}
+	}
+	if _, _, _, entries, _ := srv.renderedBodies.stats(); entries != 0 {
+		t.Errorf("failed renders left %d cache entries, want 0", entries)
+	}
+}
+
+// TestRenderCacheHitHasContentLength locks the chunked-hit bugfix: a
+// warm /run response has a known length and must carry Content-Length
+// (no chunked framing), with X-Render-Cache distinguishing hit from
+// miss and the bytes identical either way.
+func TestRenderCacheHitHasContentLength(t *testing.T) {
+	srv := &Server{
+		Engine:      engine.New(engine.Config{Workers: 2}),
+		Opt:         quick,
+		Experiments: []experiments.Experiment{mustByID(t, "table1")},
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cold, err := ts.Client().Get(ts.URL + "/run/table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBody, _ := io.ReadAll(cold.Body)
+	cold.Body.Close()
+	if got := cold.Header.Get("X-Render-Cache"); got != "miss" {
+		t.Errorf("cold X-Render-Cache = %q, want miss", got)
+	}
+	if cold.ContentLength > 0 {
+		t.Errorf("cold (streamed) response advertised Content-Length %d, want chunked", cold.ContentLength)
+	}
+
+	warm, err := ts.Client().Get(ts.URL + "/run/table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmBody, _ := io.ReadAll(warm.Body)
+	warm.Body.Close()
+	if got := warm.Header.Get("X-Render-Cache"); got != "hit" {
+		t.Errorf("warm X-Render-Cache = %q, want hit", got)
+	}
+	if warm.ContentLength != int64(len(warmBody)) {
+		t.Errorf("warm Content-Length = %d, want %d", warm.ContentLength, len(warmBody))
+	}
+	if len(warm.TransferEncoding) != 0 {
+		t.Errorf("warm response still chunked: %v", warm.TransferEncoding)
+	}
+	if warm.Header.Get("X-Content-Type-Options") != "nosniff" {
+		t.Error("warm response lost X-Content-Type-Options")
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Error("hit bytes differ from rendered bytes")
+	}
+}
+
+// TestRenderCacheConcurrency hammers get/put/join/finish from many
+// goroutines under -race and then checks the accounting is exact: bytes
+// equals the sum of resident bodies, entries never exceed the cap, and
+// hits+misses equals the number of lookups issued.
+func TestRenderCacheConcurrency(t *testing.T) {
+	const (
+		workers = 8
+		ops     = 500
+		cap     = 4
+	)
+	c := newRenderCache(cap)
+	keys := []renderKey{
+		{target: "a", format: "text"}, {target: "b", format: "text"},
+		{target: "c", format: "json"}, {target: "d", format: "csv"},
+		{target: "e", format: "markdown"}, {target: "f", format: "text"},
+	}
+	var lookups atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				key := keys[(w*ops+i)%len(keys)]
+				switch i % 3 {
+				case 0:
+					lookups.Add(1)
+					c.get(key)
+				case 1:
+					body, call, leader := c.join(key)
+					lookups.Add(1)
+					if leader {
+						// Render alternately succeeds and fails.
+						if i%2 == 0 {
+							c.finish(key, call, []byte(key.target+key.format), true)
+						} else {
+							c.finish(key, call, nil, false)
+						}
+					} else if body == nil && call != nil {
+						<-call.done
+					}
+				case 2:
+					c.put(key, []byte(key.target))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	hits, misses, _, entries, bytes := c.stats()
+	if entries > cap {
+		t.Errorf("entries = %d, cap is %d", entries, cap)
+	}
+	if hits+misses != lookups.Load() {
+		t.Errorf("hits(%d) + misses(%d) = %d, want %d lookups", hits, misses, hits+misses, lookups.Load())
+	}
+	// Recompute resident bytes from the list and compare to the counter.
+	c.mu.Lock()
+	var want int64
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		want += int64(len(el.Value.(*renderEntry).body))
+	}
+	if len(c.byKey) != c.order.Len() {
+		t.Errorf("map has %d keys, list has %d entries", len(c.byKey), c.order.Len())
+	}
+	if len(c.inflight) != 0 {
+		t.Errorf("%d in-flight calls leaked", len(c.inflight))
+	}
+	c.mu.Unlock()
+	if bytes != want {
+		t.Errorf("bytes counter = %d, resident bodies sum to %d", bytes, want)
+	}
+}
+
+// TestRenderCacheJoinAfterFinishIsHit: once a leader finishes cleanly, a
+// later join must be a plain cache hit, not a new flight.
+func TestRenderCacheJoinAfterFinishIsHit(t *testing.T) {
+	c := newRenderCache(4)
+	key := renderKey{target: "x", format: "text"}
+	_, call, leader := c.join(key)
+	if !leader {
+		t.Fatal("first join is not the leader")
+	}
+	c.finish(key, call, []byte("body"), true)
+	body, call2, leader2 := c.join(key)
+	if leader2 || call2 != nil || string(body) != "body" {
+		t.Fatalf("join after finish = (%q, %v, %v), want cached body", body, call2, leader2)
+	}
 }

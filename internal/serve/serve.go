@@ -15,6 +15,16 @@
 //	GET /experiments           registry listing as JSON
 //	GET /run/{id|all}?format=F stream rendered experiment output (chunked)
 //	GET /stats                 engine + disk-cache counters as JSON
+//	GET /metrics               Prometheus text-format metrics
+//
+// Under load, three more mechanisms engage (see docs/ARCHITECTURE.md
+// "Serving under load"): cold identical /run requests singleflight the
+// *render* per (target, format) key — not just the computation — so a
+// request stampede performs one render; an optional per-client rate
+// limiter answers 429 with Retry-After; and an optional
+// max-concurrent-streams cap answers 503 with Retry-After. /metrics
+// exposes request counts and latency histograms per endpoint/format plus
+// the engine, disk-cache and render-cache counters.
 //
 // The /run body is byte-identical to the mergescale CLI's buffered output
 // for the same format: the handler drives the exact renderer pipeline the
@@ -31,6 +41,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"mergescale/internal/engine"
@@ -57,10 +68,28 @@ type Server struct {
 	// Log receives request errors; nil discards them.
 	Log *log.Logger
 
+	// RateLimit, when > 0, enables the per-client token-bucket rate
+	// limiter at this many requests per second (CLI: serve -ratelimit).
+	// Over-limit requests get 429 with Retry-After. /healthz and /metrics
+	// are exempt.
+	RateLimit float64
+	// RateBurst sets the limiter's burst size; <= 0 defaults to
+	// ceil(RateLimit), minimum 1 (CLI: serve -rateburst).
+	RateBurst int
+	// MaxStreams, when > 0, caps concurrently executing /run streams;
+	// excess requests get 503 with Retry-After (CLI: serve -maxstreams).
+	MaxStreams int
+
 	// renderedBodies caches fully rendered /run responses keyed by
 	// (target, format); initialized once by Handler. See renderCache for
-	// the caching rules (UseDuration runs bypass it).
+	// the caching rules (UseDuration runs bypass it) and the per-key
+	// singleflight that prevents render stampedes.
 	renderedBodies *renderCache
+	// metrics backs /metrics; initialized once by Handler.
+	metrics *serveMetrics
+	// limiter / streams implement RateLimit / MaxStreams; nil when off.
+	limiter *clientLimiter
+	streams *streamGate
 }
 
 // registry returns the experiment set this server exposes.
@@ -79,15 +108,29 @@ func (s *Server) logf(format string, args ...any) {
 
 // Handler builds the route table. The returned handler is safe for
 // concurrent use; every /run request gets its own renderer and sink.
+// Every route is instrumented for /metrics; /experiments, /stats and
+// /run additionally pass the rate limiter, and /run the stream cap —
+// /healthz and /metrics stay unconditioned so probes and scrapes answer
+// even when the server is shedding load.
 func (s *Server) Handler() http.Handler {
 	if s.renderedBodies == nil {
 		s.renderedBodies = newRenderCache(renderCacheEntries)
 	}
+	if s.metrics == nil {
+		s.metrics = newServeMetrics()
+	}
+	if s.limiter == nil && s.RateLimit > 0 {
+		s.limiter = newClientLimiter(s.RateLimit, s.RateBurst)
+	}
+	if s.streams == nil && s.MaxStreams > 0 {
+		s.streams = &streamGate{max: int64(s.MaxStreams)}
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /experiments", s.handleExperiments)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /run/{target}", s.handleRun)
+	mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
+	mux.Handle("GET /experiments", s.instrument("/experiments", s.limit(http.HandlerFunc(s.handleExperiments))))
+	mux.Handle("GET /stats", s.instrument("/stats", s.limit(http.HandlerFunc(s.handleStats))))
+	mux.Handle("GET /run/{target}", s.instrument("/run", s.limit(s.capStreams(http.HandlerFunc(s.handleRun)))))
 	return mux
 }
 
@@ -136,12 +179,15 @@ type diskStats struct {
 	Bytes     int64  `json:"bytes"`
 }
 
-// renderStats reports the rendered-response cache counters.
+// renderStats reports the rendered-response cache counters. Coalesced
+// counts requests served by another request's in-flight render (the
+// stampede singleflight).
 type renderStats struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Entries int    `json:"entries"`
-	Bytes   int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
 }
 
 // statsPayload is the /stats response body.
@@ -177,8 +223,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if s.renderedBodies != nil {
-		hits, misses, entries, bytes := s.renderedBodies.stats()
-		payload.Render = &renderStats{Hits: hits, Misses: misses, Entries: entries, Bytes: bytes}
+		hits, misses, coalesced, entries, bytes := s.renderedBodies.stats()
+		payload.Render = &renderStats{Hits: hits, Misses: misses, Coalesced: coalesced, Entries: entries, Bytes: bytes}
 	}
 	s.writeJSON(w, payload)
 }
@@ -252,21 +298,57 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// Entries only exist for runs that completed cleanly, so a hit can
 	// never replay a partial document. Wall-clock runs (UseDuration) are
 	// nondeterministic and never enter the cache.
+	//
+	// Cold misses singleflight per key: the first request leads and
+	// streams its render (teed into the cache); concurrent identical
+	// requests wait for the leader and serve its body, so a stampede of N
+	// cold clients performs exactly one render. A leader that fails —
+	// client disconnect, experiment error — wakes its followers with
+	// ok=false and the next one takes over, so a dead leader never wedges
+	// the key.
 	cacheable := !s.Opt.UseDuration
 	key := renderKey{target: target, format: format}
+	var call *renderCall
 	if cacheable {
-		if body, ok := s.renderedBodies.get(key); ok {
-			w.Header().Set("Content-Type", contentTypes[format])
-			w.Header().Set("X-Content-Type-Options", "nosniff")
-			if _, err := w.Write(body); err != nil {
-				s.logf("serve: run %s format=%s: cached write: %v", target, format, err)
+		for {
+			cached, c, leader := s.renderedBodies.join(key)
+			if cached != nil {
+				s.writeCached(w, format, target, cached)
+				return
 			}
-			return
+			if leader {
+				call = c
+				break
+			}
+			select {
+			case <-c.done:
+				if c.ok {
+					s.writeCached(w, format, target, c.body)
+					return
+				}
+				// Leader failed; loop — re-join, possibly as the new
+				// leader.
+			case <-r.Context().Done():
+				// Client gone while waiting; nothing was written.
+				http.Error(w, r.Context().Err().Error(), http.StatusServiceUnavailable)
+				return
+			}
 		}
+	}
+
+	// Leader (or uncacheable) path: this request performs a real render.
+	// The deferred finish publishes the outcome to any followers on every
+	// exit, including the mid-stream abort panic.
+	s.metrics.renderStarted()
+	renderedOK := false
+	var renderedBody []byte
+	if call != nil {
+		defer func() { s.renderedBodies.finish(key, call, renderedBody, renderedOK) }()
 	}
 
 	w.Header().Set("Content-Type", contentTypes[format])
 	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.Header().Set("X-Render-Cache", renderCacheState(cacheable))
 	body := &countingWriter{w: w}
 	// Tee the streamed bytes into a capture buffer so a clean run can be
 	// stored for future cache hits without a second render pass.
@@ -320,8 +402,37 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if capture != nil {
 		// Only clean, fully rendered runs are cached; errored or aborted
-		// streams returned above.
-		s.renderedBodies.put(key, capture.Bytes())
+		// streams returned above. The deferred finish stores the body and
+		// wakes followers.
+		renderedBody = capture.Bytes()
+		renderedOK = true
+	}
+}
+
+// renderCacheState names the X-Render-Cache value for a streaming render:
+// "miss" populates the cache, "bypass" (wall-clock runs) never will. The
+// hit path writes "hit". Load tooling splits cold/warm latency on this
+// header.
+func renderCacheState(cacheable bool) string {
+	if cacheable {
+		return "miss"
+	}
+	return "bypass"
+}
+
+// writeCached writes a fully rendered body in one call. Unlike the
+// streaming path the length is known up front, so the response carries
+// Content-Length and goes out unchunked — previously a warm hit still
+// used chunked transfer for a known-length body. Bytes are identical to
+// the streamed rendering; only framing differs.
+func (s *Server) writeCached(w http.ResponseWriter, format, target string, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", contentTypes[format])
+	h.Set("X-Content-Type-Options", "nosniff")
+	h.Set("X-Render-Cache", "hit")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	if _, err := w.Write(body); err != nil {
+		s.logf("serve: run %s format=%s: cached write: %v", target, format, err)
 	}
 }
 

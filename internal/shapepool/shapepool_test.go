@@ -16,9 +16,18 @@ func TestForReturnsStablePools(t *testing.T) {
 	if a == c {
 		t.Error("different shapes share a pool")
 	}
-	a.Put(42)
-	if v, _ := r.For([2]int{1, 2}).Get().(int); v != 42 {
-		t.Errorf("pooled value lost: got %v", v)
+	// Under -race, sync.Pool drops a quarter of Puts on purpose (to shake
+	// out pool races), so a single Put/Get round trip is flaky by design.
+	// Retrying keeps the assertion: the pool must be able to round-trip a
+	// value, not merely return nil forever.
+	roundTripped := false
+	for i := 0; i < 100 && !roundTripped; i++ {
+		a.Put(42)
+		v, _ := r.For([2]int{1, 2}).Get().(int)
+		roundTripped = v == 42
+	}
+	if !roundTripped {
+		t.Error("pooled value never round-tripped")
 	}
 }
 

@@ -16,6 +16,12 @@
 #   BENCH_sim.json     simulator hot-path microbenchmarks (directory ops,
 #                      L1 hit loop, access mix, full Machine.Run per
 #                      workload; package ./internal/sim)
+#   BENCH_serve.json   HTTP serving throughput/latency: `mergescale load`
+#                      replaying a pinned trace (powerlaw, seed 1,
+#                      concurrency 8, text+json mix) against a server
+#                      booted over a warm -quick disk cache. Reports
+#                      req/s plus p50/p95/p99 split cold (first render
+#                      per key) vs warm (render-cache hits).
 #
 # Run from anywhere; knobs via environment:
 #
@@ -27,6 +33,8 @@
 #   BENCH_SIM_TIME     sim -benchtime     (default 100x: the micro-
 #                      benchmarks are fast, one iteration is all noise)
 #   BENCH_COUNT        -count value       (default 1)
+#   BENCH_SERVE_REQUESTS     load trace length          (default 400)
+#   BENCH_SERVE_CONCURRENCY  load closed-loop workers   (default 8)
 #
 # Note the CI/dev container exposes 1 CPU, where engine and serial times
 # converge (that delta is the fan-out overhead bound); judge speedups on
@@ -103,3 +111,50 @@ emit_json BENCH_engine.json
 : > "$tmp"
 run_suite ./internal/sim "${BENCH_SIM_PATTERN:-BenchmarkSim}" "${BENCH_SIM_TIME:-100x}"
 emit_json BENCH_sim.json
+
+echo "== serve load benchmark =="
+# Pinned protocol so rows compare across commits: power-law trace over
+# all registry targets, seed 1, 8 closed-loop workers, text+json mix.
+# The disk cache is pre-warmed with a CLI pass so the measurement covers
+# serving + rendering, not simulator runtime; the render cache starts
+# cold, so the cold bucket is the first render per (target, format) key
+# and the warm bucket is render-cache hits.
+servedir=$(mktemp -d)
+serve_pid=""
+cleanup_serve() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
+    rm -rf "$servedir"
+    rm -f "$tmp"
+}
+trap cleanup_serve EXIT
+
+go build -o "$servedir/mergescale" ./cmd/mergescale
+"$servedir/mergescale" -quick -cachedir "$servedir/cache" run all > /dev/null
+"$servedir/mergescale" -quick -cachedir "$servedir/cache" serve -addr 127.0.0.1:0 \
+    2> "$servedir/serve.log" &
+serve_pid=$!
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's#.*serving on http://##p' "$servedir/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "bench.sh: serve did not come up:" >&2
+    cat "$servedir/serve.log" >&2
+    exit 1
+fi
+"$servedir/mergescale" load -url "http://$addr" \
+    -profile powerlaw -seed 1 -alpha 1.5 \
+    -formats text,json \
+    -concurrency "${BENCH_SERVE_CONCURRENCY:-8}" \
+    -requests "${BENCH_SERVE_REQUESTS:-400}" \
+    -out BENCH_serve.json
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+echo "wrote BENCH_serve.json:"
+cat BENCH_serve.json

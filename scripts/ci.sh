@@ -75,11 +75,56 @@ if [ -z "$addr" ]; then
     exit 1
 fi
 curl -sfS "http://$addr/healthz" > /dev/null
+
+echo "== render stampede gate =="
+# 8 concurrent identical cold /run/all clients against the freshly booted
+# server: every body must match the CLI's buffered bytes, and /metrics
+# must show exactly ONE render — the singleflight leader; the other 7
+# were coalesced onto it or served from the render cache.
+stampede_pids=""
+i=0
+while [ $i -lt 8 ]; do
+    curl -sfS "http://$addr/run/all" > "$tmp/stampede.$i" &
+    stampede_pids="$stampede_pids $!"
+    i=$((i + 1))
+done
+# wait on the curls by pid — a bare `wait` would also block on the
+# backgrounded server, which never exits.
+for pid in $stampede_pids; do
+    wait "$pid"
+done
+i=0
+while [ $i -lt 8 ]; do
+    cmp "$tmp/buffered.text" "$tmp/stampede.$i"
+    i=$((i + 1))
+done
+curl -sfS "http://$addr/metrics" > "$tmp/metrics.txt"
+grep -q '^mergescale_renders_total 1$' "$tmp/metrics.txt"
+
 curl -sfS "http://$addr/run/all" > "$tmp/http.out"
 cmp "$tmp/buffered.text" "$tmp/http.out"
 curl -sfS "http://$addr/stats" > "$tmp/stats.json"
 grep -q '"executed":0' "$tmp/stats.json"
 grep -q '"storeHits":' "$tmp/stats.json"
+
+echo "== /metrics exposition gate =="
+# Re-scrape after the single /run/all above: the request counter must
+# cover the stampede plus that request, and the warm disk cache means the
+# engine still executed zero job functions since boot.
+curl -sfS "http://$addr/metrics" > "$tmp/metrics.txt"
+grep -q '^mergescale_http_requests_total{endpoint="/run",format="text",code="200"} 9$' "$tmp/metrics.txt"
+grep -q '^mergescale_http_request_duration_seconds_bucket{endpoint="/run",format="text",le="+Inf"} 9$' "$tmp/metrics.txt"
+grep -q '^mergescale_engine_jobs_executed_total 0$' "$tmp/metrics.txt"
+grep -q '^# TYPE mergescale_http_request_duration_seconds histogram$' "$tmp/metrics.txt"
+
+echo "== load harness smoke =="
+"$tmp/mergescale" load -url "http://$addr" -requests 32 -concurrency 4 -seed 1 \
+    > "$tmp/load.json" 2> "$tmp/load.summary"
+grep -q '"req_per_sec"' "$tmp/load.json"
+grep -q '"errors": 0' "$tmp/load.json"
+grep -q '"requests": 32' "$tmp/load.json"
+grep -q 'req/s' "$tmp/load.summary"
+
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
