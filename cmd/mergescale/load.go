@@ -20,7 +20,9 @@ import (
 // running `mergescale serve`: the JSON report goes to stdout (or -out),
 // a one-line human summary to stderr. Exit codes: 0 clean, 1 run or
 // write failure, 2 usage, 3 clean run but with request errors (so CI can
-// distinguish "the harness broke" from "the server misbehaved").
+// distinguish "the harness broke" from "the server misbehaved"), 4 clean
+// run whose warm p99 exceeds the -slo-warm-p99 budget (request errors
+// take precedence: a misbehaving server returns 3, not 4).
 func runLoad(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mergescale load", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -37,6 +39,7 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 		burstSize   = fs.Int("burstsize", 0, "requests per wave for -profile burst (0 = concurrency)")
 		burstGap    = fs.Duration("burstgap", 100*time.Millisecond, "idle gap between waves for -profile burst")
 		outPath     = fs.String("out", "", "write the JSON report to FILE instead of stdout")
+		sloWarmP99  = fs.Duration("slo-warm-p99", 0, "fail (exit 4) when warm p99 latency exceeds this budget (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -56,8 +59,8 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mergescale load: -concurrency must be >= 1 (got %d)\n", *concurrency)
 		return 2
 	}
-	if *requests < 0 || *runFor < 0 || *burstSize < 0 || *burstGap < 0 {
-		fmt.Fprintln(stderr, "mergescale load: -requests, -for, -burstsize and -burstgap must be >= 0")
+	if *requests < 0 || *runFor < 0 || *burstSize < 0 || *burstGap < 0 || *sloWarmP99 < 0 {
+		fmt.Fprintln(stderr, "mergescale load: -requests, -for, -burstsize, -burstgap and -slo-warm-p99 must be >= 0")
 		return 2
 	}
 	if *requests > 0 && *runFor > 0 {
@@ -135,6 +138,16 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 		res.Warm.P50Ms, res.Warm.P95Ms, res.Warm.P99Ms, res.Warm.Requests)
 	if res.Errors > 0 {
 		return 3
+	}
+	if *sloWarmP99 > 0 {
+		budgetMs := float64(*sloWarmP99) / float64(time.Millisecond)
+		if res.Warm.P99Ms > budgetMs {
+			fmt.Fprintf(stderr, "load: SLO violated: warm p99 %.2f ms > budget %.2f ms\n",
+				res.Warm.P99Ms, budgetMs)
+			return 4
+		}
+		fmt.Fprintf(stderr, "load: SLO met: warm p99 %.2f ms <= budget %.2f ms\n",
+			res.Warm.P99Ms, budgetMs)
 	}
 	return 0
 }

@@ -26,6 +26,7 @@ func TestLoadUsageErrors(t *testing.T) {
 		{[]string{"load", "-url", "http://x", "-concurrency", "0"}, "-concurrency must be >= 1"},
 		{[]string{"load", "-url", "http://x", "-requests", "-1"}, "must be >= 0"},
 		{[]string{"load", "-url", "http://x", "-requests", "5", "-for", "1s"}, "mutually exclusive"},
+		{[]string{"load", "-url", "http://x", "-slo-warm-p99", "-1s"}, "must be >= 0"},
 		// Global flags are render/engine options; they do not apply to the
 		// client-side harness and must be rejected, not silently dropped.
 		{[]string{"-quick", "load", "-url", "http://x"}, "does not apply to load"},
@@ -109,6 +110,42 @@ func TestLoadOutFile(t *testing.T) {
 	}
 	if !json.Valid(data) {
 		t.Fatalf("-out file is not valid JSON:\n%.200s", data)
+	}
+}
+
+// TestLoadSLOGate: -slo-warm-p99 turns the harness into a pass/fail CI
+// gate. A generous budget exits 0 and reports the margin; an impossible
+// sub-microsecond budget exits 4 with the violation on stderr, and the
+// JSON report is still written either way.
+func TestLoadSLOGate(t *testing.T) {
+	srv := &serve.Server{
+		Engine:      engine.New(engine.Config{Workers: 2}),
+		Opt:         experiments.Options{Quick: true},
+		Experiments: experiments.Registry(),
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	base := []string{"load", "-url", ts.URL, "-targets", "fig4", "-requests", "6", "-concurrency", "2", "-seed", "3"}
+
+	var out, errOut bytes.Buffer
+	if code := run(append(base, "-slo-warm-p99", "1h"), &out, &errOut); code != 0 {
+		t.Fatalf("generous SLO exit code = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "SLO met") {
+		t.Errorf("passing run should report the margin, got: %s", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run(append(base, "-slo-warm-p99", "1ns"), &out, &errOut); code != 4 {
+		t.Fatalf("impossible SLO exit code = %d, want 4 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "SLO violated") {
+		t.Errorf("failing run should name the violation, got: %s", errOut.String())
+	}
+	if !json.Valid(out.Bytes()) {
+		t.Errorf("failing run must still write the JSON report:\n%.200s", out.Bytes())
 	}
 }
 

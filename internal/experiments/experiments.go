@@ -123,6 +123,8 @@ func Registry() []Experiment {
 		{ID: "abl-budget", Title: "Ablation: BCE budget scaling", Run: AblBudget},
 		{ID: "ext-critical", Title: "Extension: combined critical-section model", Run: ExtCritical},
 		{ID: "ext-locking", Title: "Extension: privatized vs locked reductions", Run: ExtLocking},
+		{ID: "ext-contend", Title: "Extension: contended zipf workload, measured vs model (joined)", Run: ExtContend},
+		{ID: "ext-contend-split", Title: "Extension: contended zipf workload, measured vs model (split)", Run: ExtContendSplit},
 	}
 }
 

@@ -24,7 +24,8 @@ func TestCacheKeyGoldens(t *testing.T) {
 			"fig7": "8208f47c3bbab325", "abl-growth": "f7b515e6b8588ad5",
 			"abl-topology": "38c0ce436e912153", "abl-strategy": "e630ec098e8c573f",
 			"abl-budget": "5cba1b77b765ace7", "ext-critical": "a50e97b69a35a985",
-			"ext-locking": "db1f544d3930da65",
+			"ext-locking": "db1f544d3930da65", "ext-contend": "8f0ce391ce9ecd71",
+			"ext-contend-split": "9cb000bdbac73a82",
 		}},
 		{Options{Quick: true}, map[string]string{
 			"table1": "b228e01d06f99bd0", "table2": "4de02e137ed1c795",
@@ -36,7 +37,8 @@ func TestCacheKeyGoldens(t *testing.T) {
 			"fig7": "14e6ea84994aaba8", "abl-growth": "a8130ad782e58e18",
 			"abl-topology": "09fee77f1a40232a", "abl-strategy": "d96772794eec83b6",
 			"abl-budget": "c833f6fb0c85606e", "ext-critical": "aa735017bcb1b288",
-			"ext-locking": "10f9da1e018c6268",
+			"ext-locking": "10f9da1e018c6268", "ext-contend": "93481f8a655d30f4",
+			"ext-contend-split": "26e92c9c6d80a01d",
 		}},
 		{Options{UseDuration: true}, map[string]string{
 			"table1": "f1653791eaebd4fa", "table2": "99c645dbbb9034cf",
@@ -49,6 +51,7 @@ func TestCacheKeyGoldens(t *testing.T) {
 			"abl-growth": "858ed9cf20177972", "abl-topology": "1aed62c859b4f3c8",
 			"abl-strategy": "56c964fc6683649c", "abl-budget": "b9c01bd1d5f57964",
 			"ext-critical": "53bdf740a535e142", "ext-locking": "6784b38dec019622",
+			"ext-contend": "1f2594c08a6680e6", "ext-contend-split": "ab6dbfdf253babe7",
 		}},
 	}
 	for _, g := range goldens {

@@ -171,6 +171,7 @@ func (c *cache) countValid() int {
 // tracked by the L2 cache structure itself, not the directory.
 type dirEntry struct {
 	sharers uint64 // bitmask of L1s holding the line
+	inv     uint32 // invalidations this line has suffered (hot-line stat)
 	owner   int8   // core owning in M/E, -1 when none
 }
 
@@ -279,6 +280,19 @@ func (d *directory) grow() {
 
 // len returns the number of tracked lines (test hook).
 func (d *directory) len() int { return d.n }
+
+// maxInv returns the invalidation count of the most-invalidated line — the
+// hot-line statistic surfaced as Counters.HotLineInvalidations. Taking the
+// max (not an address) keeps the result independent of slot/hash order.
+func (d *directory) maxInv() uint64 {
+	var peak uint32
+	for i := range d.slots {
+		if d.slots[i].live && d.slots[i].ent.inv > peak {
+			peak = d.slots[i].ent.inv
+		}
+	}
+	return uint64(peak)
+}
 
 func (e *dirEntry) addSharer(core int)      { e.sharers |= 1 << uint(core) }
 func (e *dirEntry) dropSharer(core int)     { e.sharers &^= 1 << uint(core) }

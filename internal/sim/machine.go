@@ -23,6 +23,14 @@ type Counters struct {
 	Loads         uint64
 	Stores        uint64
 	ComputeOps    uint64
+	// SharerPeak is the largest number of L1s simultaneously holding any
+	// one line — read-sharing breadth on the hottest line.
+	SharerPeak uint64
+	// HotLineInvalidations is the invalidation count of the single
+	// most-invalidated line: the contended-workload "invalidation storm"
+	// concentrated on one hot line, as opposed to Invalidations spread
+	// over the whole working set.
+	HotLineInvalidations uint64
 }
 
 // PhaseTime records the wall-clock cycles spent in one dynamic phase
@@ -261,6 +269,7 @@ func (m *Machine) Run(prog *Program) (Result, error) {
 	}
 	closePhase(wall)
 	res.Cycles = wall
+	res.Counters.HotLineInvalidations = m.dir.maxInv()
 	return res, nil
 }
 
@@ -312,6 +321,7 @@ func (m *Machine) access(id int, addr uint64, write bool, ctr *Counters) uint64 
 				m.l1[owner].invalidate(line)
 				e.dropSharer(owner)
 				ctr.Invalidations++
+				e.inv++
 			} else {
 				m.l1[owner].downgrade(line)
 				e.addSharer(owner)
@@ -325,6 +335,7 @@ func (m *Machine) access(id int, addr uint64, write bool, ctr *Counters) uint64 
 			} else {
 				e.addSharer(id)
 			}
+			noteSharerPeak(e, ctr)
 			return lat
 		}
 		// Stale owner record (line was evicted silently): fall through.
@@ -355,7 +366,17 @@ func (m *Machine) access(id int, addr uint64, write bool, ctr *Counters) uint64 
 		}
 		e.addSharer(id)
 	}
+	noteSharerPeak(e, ctr)
 	return lat
+}
+
+// noteSharerPeak records the line's current sharer breadth into the
+// SharerPeak counter. Called on the paths that grow a sharer set; read hits
+// leave the set unchanged, so skipping them loses nothing.
+func noteSharerPeak(e *dirEntry, ctr *Counters) {
+	if n := uint64(e.sharerCount()); n > ctr.SharerPeak {
+		ctr.SharerPeak = n
+	}
 }
 
 // invalidateOthers invalidates every other L1 copy of line, returning the
@@ -369,6 +390,7 @@ func (m *Machine) invalidateOthers(id int, line uint64, e *dirEntry, ctr *Counte
 		if st := m.l1[core].invalidate(line); st != stateInvalid {
 			lat += m.cfg.InvLat
 			ctr.Invalidations++
+			e.inv++
 			if st == stateModified {
 				m.installL2(line, ctr)
 				ctr.WriteBacks++
@@ -425,6 +447,7 @@ func (m *Machine) installL2(line uint64, ctr *Counters) {
 		if ev.hasSharer(core) {
 			m.l1[core].invalidate(evAddr)
 			ctr.Invalidations++
+			ev.inv++
 		}
 	}
 	ev.sharers = 0

@@ -1,0 +1,158 @@
+package contend_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mergescale/internal/sim"
+	"mergescale/internal/trace"
+	"mergescale/internal/workload"
+	"mergescale/internal/workload/contend"
+	"mergescale/internal/workload/datagen"
+)
+
+func testDataset(t *testing.T, n int) *datagen.Dataset {
+	t.Helper()
+	w := contend.New()
+	spec := w.DefaultSpec()
+	spec.N = n
+	ds, err := datagen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestNativeTotalsMatchTrace checks the ground truth: in both modes and at
+// every thread count, every transaction lands exactly once — the final
+// counter table is the trace histogram.
+func TestNativeTotalsMatchTrace(t *testing.T) {
+	ds := testDataset(t, 4096)
+	for _, mode := range []contend.Mode{contend.Joined, contend.Split} {
+		cfg := contend.DefaultConfig()
+		cfg.Mode = mode
+		cfg.Keys = 256
+		var ref *contend.Result
+		for _, threads := range []int{1, 2, 4} {
+			res, prof, err := contend.Run(ds, cfg, threads, false)
+			if err != nil {
+				t.Fatalf("%v threads=%d: %v", mode, threads, err)
+			}
+			if res.Total != uint64(ds.N()) {
+				t.Errorf("%v threads=%d: total %d, want %d", mode, threads, res.Total, ds.N())
+			}
+			if prof.TotalWork() == 0 {
+				t.Errorf("%v threads=%d: empty profile", mode, threads)
+			}
+			if ref == nil {
+				ref = res
+			} else if !reflect.DeepEqual(res.Counts, ref.Counts) {
+				t.Errorf("%v threads=%d: counter table differs from 1-thread run", mode, threads)
+			}
+		}
+	}
+}
+
+// TestSplitReductionGrowsWithThreads pins the merging-phase shape: split
+// mode's reduction work is threads × keys per round, joined mode has none.
+func TestSplitReductionGrowsWithThreads(t *testing.T) {
+	ds := testDataset(t, 2048)
+	cfg := contend.DefaultConfig()
+	cfg.Keys = 128
+	cfg.Mode = contend.Split
+	_, p1, err := contend.Run(ds, cfg, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p4, err := contend.Run(ds, cfg, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red1 := p1.SectionWork(trace.SecReduction)
+	red4 := p4.SectionWork(trace.SecReduction)
+	if red4 != 4*red1 || red1 == 0 {
+		t.Errorf("split reduction work: 1 thread %v, 4 threads %v (want 4x growth)", red1, red4)
+	}
+	cfg.Mode = contend.Joined
+	_, pj, err := contend.Run(ds, cfg, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pj.SectionWork(trace.SecReduction); got != 0 {
+		t.Errorf("joined mode should have no reduction work, got %v", got)
+	}
+}
+
+// TestJoinedInvalidationStorm pins the tentpole's physical effect: at high
+// skew, joined-mode simulation suffers hot-line invalidations and loses
+// speedup, while split mode keeps the parallel phase coherence-quiet.
+func TestJoinedInvalidationStorm(t *testing.T) {
+	ds := testDataset(t, 16384)
+	mkRun := func(mode contend.Mode, cores int) workload.SimRun {
+		w := contend.New()
+		w.Cfg.Mode = mode
+		w.Cfg.Alpha = 2
+		w.Cfg.Keys = 128
+		r, err := workload.RunSim(w, ds, sim.DefaultConfig(cores), 1)
+		if err != nil {
+			t.Fatalf("%v p=%d: %v", mode, cores, err)
+		}
+		return r
+	}
+
+	j1, j8 := mkRun(contend.Joined, 1), mkRun(contend.Joined, 8)
+	s1, s8 := mkRun(contend.Split, 1), mkRun(contend.Split, 8)
+
+	if j1.Counters.Invalidations != 0 {
+		t.Errorf("1-core run cannot invalidate, got %d", j1.Counters.Invalidations)
+	}
+	if j8.Counters.Invalidations == 0 || j8.Counters.HotLineInvalidations == 0 {
+		t.Errorf("joined 8-core run should storm: inv=%d hotline=%d",
+			j8.Counters.Invalidations, j8.Counters.HotLineInvalidations)
+	}
+	// The storm concentrates: the hottest line absorbs a meaningful share.
+	if 10*j8.Counters.HotLineInvalidations < j8.Counters.Invalidations {
+		t.Errorf("hot line holds %d of %d invalidations — expected concentration",
+			j8.Counters.HotLineInvalidations, j8.Counters.Invalidations)
+	}
+	// Split keeps parallel-phase writes private; its invalidations come
+	// only from the master's merge reads and must be far fewer per store.
+	if s8.Counters.Invalidations >= j8.Counters.Invalidations {
+		t.Errorf("split (%d) should invalidate less than joined (%d)",
+			s8.Counters.Invalidations, j8.Counters.Invalidations)
+	}
+
+	spJoined := float64(j1.Cycles) / float64(j8.Cycles)
+	spSplit := float64(s1.Cycles) / float64(s8.Cycles)
+	if spJoined >= spSplit {
+		t.Errorf("joined speedup %.2f should trail split speedup %.2f at alpha=2", spJoined, spSplit)
+	}
+}
+
+// TestProgramPhasesMapToSections ensures generated programs only use phase
+// names the profile conversion understands, in both modes.
+func TestProgramPhasesMapToSections(t *testing.T) {
+	ds := testDataset(t, 1024)
+	for _, mode := range []contend.Mode{contend.Joined, contend.Split} {
+		w := contend.New()
+		w.Cfg.Mode = mode
+		r, err := workload.RunSim(w, ds, sim.DefaultConfig(4), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Profile(); err != nil {
+			t.Errorf("%v: profile conversion: %v", mode, err)
+		}
+		names := r.PhaseNames()
+		wantRed := mode == contend.Split
+		hasRed := false
+		for _, n := range names {
+			if n == "reduction" {
+				hasRed = true
+			}
+		}
+		if hasRed != wantRed {
+			t.Errorf("%v: phases %v, reduction presence want %v", mode, names, wantRed)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package contend
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzAppendKeyMatchesGoSyntax fuzzes the engine.KeyAppender differential
+// contract on the contend config: AppendKey must stay byte-identical to
+// %#v for arbitrary field values, because those bytes are hashed into
+// persistent disk-cache keys (a drift silently aliases or orphans cache
+// entries). The seed corpus in testdata/fuzz runs as a regression suite
+// under plain `go test`.
+func FuzzAppendKeyMatchesGoSyntax(f *testing.F) {
+	f.Add(1024, 1.5, 8, 4, 0)
+	f.Add(0, 0.0, 0, 0, 0)
+	f.Add(-3, -0.5, -1, -2, -7)
+	f.Add(maxKeys, 2.0, 64, 16, 1)
+	f.Add(1, 1.0000001, 1, 1, 1)
+	f.Fuzz(func(t *testing.T, keys int, alpha float64, ops, rounds, mode int) {
+		c := Config{Keys: keys, Alpha: alpha, OpsPerTx: ops, Rounds: rounds, Mode: Mode(mode)}
+		want := fmt.Sprintf("%#v", c)
+		if got := string(c.AppendKey(nil)); got != want {
+			t.Errorf("AppendKey = %q, want %q", got, want)
+		}
+	})
+}

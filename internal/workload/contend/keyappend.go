@@ -1,0 +1,20 @@
+package contend
+
+import "strconv"
+
+// AppendKey appends the Go-syntax rendering of the config for engine cache
+// keys (engine.KeyAppender). Must stay byte-identical to %#v — these bytes
+// are hashed into persistent disk-cache keys.
+func (c Config) AppendKey(b []byte) []byte {
+	b = append(b, "contend.Config{Keys:"...)
+	b = strconv.AppendInt(b, int64(c.Keys), 10)
+	b = append(b, ", Alpha:"...)
+	b = strconv.AppendFloat(b, c.Alpha, 'g', -1, 64)
+	b = append(b, ", OpsPerTx:"...)
+	b = strconv.AppendInt(b, int64(c.OpsPerTx), 10)
+	b = append(b, ", Rounds:"...)
+	b = strconv.AppendInt(b, int64(c.Rounds), 10)
+	b = append(b, ", Mode:"...)
+	b = strconv.AppendInt(b, int64(c.Mode), 10)
+	return append(b, '}')
+}

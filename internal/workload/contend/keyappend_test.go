@@ -1,0 +1,32 @@
+package contend
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestAppendKeyMatchesGoSyntax pins the differential contract: AppendKey
+// must render byte-identically to %#v, because those bytes are hashed into
+// persistent disk-cache keys.
+func TestAppendKeyMatchesGoSyntax(t *testing.T) {
+	cases := []Config{
+		{},
+		DefaultConfig(),
+		{Keys: 1, Alpha: 1.000001, OpsPerTx: 1, Rounds: 1, Mode: Joined},
+		{Keys: maxKeys, Alpha: 2, OpsPerTx: 64, Rounds: 16, Mode: Split},
+		{Keys: -3, Alpha: -0.5, OpsPerTx: -1, Rounds: -2, Mode: Mode(-7)},
+	}
+	for _, c := range cases {
+		want := fmt.Sprintf("%#v", c)
+		if got := string(c.AppendKey(nil)); got != want {
+			t.Errorf("AppendKey = %q, want %q", got, want)
+		}
+	}
+	prop := func(c Config) bool {
+		return string(c.AppendKey(nil)) == fmt.Sprintf("%#v", c)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

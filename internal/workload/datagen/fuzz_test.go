@@ -1,0 +1,27 @@
+package datagen
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzSpecAppendKeyMatchesGoSyntax fuzzes the engine.KeyAppender
+// differential contract on the dataset spec — the config with the richest
+// field mix (quoted string, signed ints, shortest-form float, hex uint64).
+// AppendKey must stay byte-identical to %#v for arbitrary values; the seed
+// corpus in testdata/fuzz runs as a regression suite under plain
+// `go test`.
+func FuzzSpecAppendKeyMatchesGoSyntax(f *testing.F) {
+	f.Add("contend-base", 65536, 1, 1, 1.0, uint64(401))
+	f.Add("", 0, 0, 0, 0.0, uint64(0))
+	f.Add("kmeans-base", 17695, 9, 8, 0.0, uint64(101))
+	f.Add("quote\"back\\slash\nnewline", -1, -2, -3, -0.5, uint64(1)<<63)
+	f.Add("non-utf8 \xff\xfe", 1, 1, 1, 1e300, ^uint64(0))
+	f.Fuzz(func(t *testing.T, label string, n, d, c int, spread float64, seed uint64) {
+		s := Spec{Label: label, N: n, D: d, C: c, Spread: spread, Seed: seed}
+		want := fmt.Sprintf("%#v", s)
+		if got := string(s.AppendKey(nil)); got != want {
+			t.Errorf("AppendKey = %q, want %q", got, want)
+		}
+	})
+}

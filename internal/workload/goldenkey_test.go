@@ -6,6 +6,7 @@ import (
 
 	"mergescale/internal/sim"
 	"mergescale/internal/workload"
+	"mergescale/internal/workload/contend"
 	"mergescale/internal/workload/fuzzy"
 	"mergescale/internal/workload/hop"
 	"mergescale/internal/workload/kmeans"
@@ -44,12 +45,38 @@ func TestSimRunKeyGoldens(t *testing.T) {
 			8:  "1fca52019a21e323",
 			16: "5ea7147d0a669fa2",
 		},
+		// Both contend modes share Name()=="contend"; Mode lives in
+		// Params, so the keys differ — pinned separately per mode.
+		"contend-joined": {
+			1:  "c3583339dfeae707",
+			2:  "a8d87b301d7bcace",
+			4:  "ff6af538ac73a520",
+			8:  "d4e755f42bfc45fc",
+			16: "7690cb0e0b9f080b",
+		},
+		"contend-split": {
+			1:  "db79201385b4fe54",
+			2:  "1f83a2a221dc65a9",
+			4:  "33246051f0315e63",
+			8:  "6f19f615081acecf",
+			16: "b31467d2d1c72d3e",
+		},
 	}
-	for _, w := range []workload.Workload{km, fz, hop.New()} {
-		for cores, want := range goldens[w.Name()] {
-			got := workload.SimRunKey(w, w.DefaultSpec(), sim.DefaultConfig(cores), 16)
+	cj := contend.New()
+	cs := contend.New()
+	cs.Cfg.Mode = contend.Split
+	cases := []struct {
+		label string
+		w     workload.Workload
+	}{
+		{"kmeans", km}, {"fuzzy", fz}, {"hop", hop.New()},
+		{"contend-joined", cj}, {"contend-split", cs},
+	}
+	for _, c := range cases {
+		for cores, want := range goldens[c.label] {
+			got := workload.SimRunKey(c.w, c.w.DefaultSpec(), sim.DefaultConfig(cores), 16)
 			if got != want {
-				t.Errorf("SimRunKey(%s, p=%d) = %q, golden %q", w.Name(), cores, got, want)
+				t.Errorf("SimRunKey(%s, p=%d) = %q, golden %q", c.label, cores, got, want)
 			}
 		}
 	}

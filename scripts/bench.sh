@@ -16,6 +16,12 @@
 #   BENCH_sim.json     simulator hot-path microbenchmarks (directory ops,
 #                      L1 hit loop, access mix, full Machine.Run per
 #                      workload; package ./internal/sim)
+#   BENCH_contend.json contended-workload benchmarks (package
+#                      ./internal/workload/contend): Machine.Run at p=8
+#                      under joined (invalidation-storm) vs split
+#                      (privatized) traffic, plus the native goroutine
+#                      pool at 4 threads. The joined/split ns_per_op
+#                      ratio is the simulated cost of sharing hot lines.
 #   BENCH_serve.json   HTTP serving throughput/latency: `mergescale load`
 #                      replaying a pinned trace (powerlaw, seed 1,
 #                      concurrency 8, text+json mix) against a server
@@ -32,6 +38,9 @@
 #                      (default "1x 3x")
 #   BENCH_SIM_TIME     sim -benchtime     (default 100x: the micro-
 #                      benchmarks are fast, one iteration is all noise)
+#   BENCH_CONTEND_PATTERN  contend benchmark regexp (default
+#                      BenchmarkContend)
+#   BENCH_CONTEND_TIME contend -benchtime (default 20x)
 #   BENCH_COUNT        -count value       (default 1)
 #   BENCH_SERVE_REQUESTS     load trace length          (default 400)
 #   BENCH_SERVE_CONCURRENCY  load closed-loop workers   (default 8)
@@ -111,6 +120,10 @@ emit_json BENCH_engine.json
 : > "$tmp"
 run_suite ./internal/sim "${BENCH_SIM_PATTERN:-BenchmarkSim}" "${BENCH_SIM_TIME:-100x}"
 emit_json BENCH_sim.json
+
+: > "$tmp"
+run_suite ./internal/workload/contend "${BENCH_CONTEND_PATTERN:-BenchmarkContend}" "${BENCH_CONTEND_TIME:-20x}"
+emit_json BENCH_contend.json
 
 echo "== serve load benchmark =="
 # Pinned protocol so rows compare across commits: power-law trace over

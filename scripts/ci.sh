@@ -16,14 +16,20 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race (shuffled) =="
+# -shuffle=on randomizes test and subtest execution order so hidden
+# inter-test state (shared caches, package-level maps) fails here rather
+# than in a future reordering.
+go test -race -shuffle=on ./...
 
 echo "== go test -bench (1 iteration) =="
 go test -bench=. -benchtime=1x -run '^$' .
 
 echo "== sim hot-path benchmarks (1 iteration smoke) =="
 go test -bench BenchmarkSim -benchtime=1x -run '^$' ./internal/sim
+
+echo "== contend benchmarks (1 iteration smoke) =="
+go test -bench BenchmarkContend -benchtime=1x -run '^$' ./internal/workload/contend
 
 echo "== allocation budget (without -race: its instrumentation allocates) =="
 # The -race suite above skips the AllocsPerRun assertions; this pass arms
@@ -41,6 +47,18 @@ go build -o "$tmp/mergescale" ./cmd/mergescale
 cmp "$tmp/cold.out" "$tmp/warm.out"
 grep -q '0 executed' "$tmp/warm.stats"
 grep -q 'disk:' "$tmp/warm.stats"
+
+echo "== contended-workload determinism =="
+# The contend experiments simulate zipf-skewed MESI traffic whose
+# hot-line statistics feed the rendered tables; a fresh cache dir proves
+# the sweep is byte-deterministic end to end and that the warm replay
+# serves both modes without executing a single job.
+for id in ext-contend ext-contend-split; do
+    "$tmp/mergescale" -quick -cachedir "$tmp/contendcache" run "$id" > "$tmp/contend.$id.cold"
+    "$tmp/mergescale" -quick -cachedir "$tmp/contendcache" -stats run "$id" > "$tmp/contend.$id.warm" 2> "$tmp/contend.$id.stats"
+    cmp "$tmp/contend.$id.cold" "$tmp/contend.$id.warm"
+    grep -q '0 executed' "$tmp/contend.$id.stats"
+done
 
 echo "== streamed vs buffered byte identity =="
 # The streaming pipeline must render exactly the bytes of a buffered run,
@@ -118,12 +136,15 @@ grep -q '^mergescale_engine_jobs_executed_total 0$' "$tmp/metrics.txt"
 grep -q '^# TYPE mergescale_http_request_duration_seconds histogram$' "$tmp/metrics.txt"
 
 echo "== load harness smoke =="
+# -slo-warm-p99 with a generous budget doubles as a smoke test of the
+# SLO gate: the flag must parse, evaluate, and report the margin.
 "$tmp/mergescale" load -url "http://$addr" -requests 32 -concurrency 4 -seed 1 \
-    > "$tmp/load.json" 2> "$tmp/load.summary"
+    -slo-warm-p99 30s > "$tmp/load.json" 2> "$tmp/load.summary"
 grep -q '"req_per_sec"' "$tmp/load.json"
 grep -q '"errors": 0' "$tmp/load.json"
 grep -q '"requests": 32' "$tmp/load.json"
 grep -q 'req/s' "$tmp/load.summary"
+grep -q 'SLO met' "$tmp/load.summary"
 
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
