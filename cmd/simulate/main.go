@@ -50,12 +50,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		name     = fs.String("workload", "kmeans", "workload: kmeans | fuzzy | hop")
-		cores    = fs.Int("cores", 16, "simulated core count (1..64)")
+		cores    = fs.Int("cores", 16, "simulated core count (1..256)")
 		scale    = fs.Int("scale", 4, "divide the data-set point count by this factor")
 		iters    = fs.Int("iters", 10, "clustering iterations (kmeans/fuzzy)")
 		format   = fs.String("format", "text", "output format: text | markdown | json | csv")
 		stream   = fs.Bool("stream", false, "accepted for parity with mergescale (a single document streams either way)")
 		outPath  = fs.String("out", "", "write the report to this file instead of stdout")
+		simwork  = fs.Int("simworkers", 1, "intra-run simulator worker goroutines (1 = serial reference; results are bit-identical at any setting)")
 		cachedir = fs.String("cachedir", "", "persist simulation results to this directory across runs")
 		cachettl = fs.Duration("cachettl", 0, "expire disk-cache entries older than this (0 = never)")
 		nocache  = fs.Bool("nocache", false, "disable the result cache (memory and disk)")
@@ -75,6 +76,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "simulate: -cachettl must be >= 0 (got %s)\n", *cachettl)
 		return 2
 	}
+	if *simwork < 1 {
+		fmt.Fprintf(stderr, "simulate: -simworkers must be >= 1 (got %d)\n", *simwork)
+		return 2
+	}
+	workload.SetSimParallelism(*simwork)
 
 	var w workload.Workload
 	switch *name {

@@ -76,8 +76,8 @@ func TestInvalidCores(t *testing.T) {
 	if !strings.Contains(errOut.String(), "at least one core") {
 		t.Fatalf("expected core-count error, got: %s", errOut.String())
 	}
-	if code := run([]string{"-cores", "128"}, &out, &errOut); code != 2 {
-		t.Fatalf("-cores 128 exit code = %d, want 2", code)
+	if code := run([]string{"-cores", "512"}, &out, &errOut); code != 2 {
+		t.Fatalf("-cores 512 exit code = %d, want 2", code)
 	}
 }
 

@@ -27,9 +27,9 @@ func TestAccessSteadyStateZeroAllocs(t *testing.T) {
 	warm := func() {
 		for i := uint64(0); i < lines; i++ {
 			core := int(i % 4)
-			m.access(core, 0x1000000+64*i, false, &ctr)
-			m.access(core, 0x100000+64*(i%64), i%8 == 0, &ctr)
-			m.access((core+1)%4, 0x100000+64*(i%64), i%16 == 0, &ctr)
+			m.access(core, 0x1000000+64*i, false, &ctr, &m.dir, &m.tick)
+			m.access(core, 0x100000+64*(i%64), i%8 == 0, &ctr, &m.dir, &m.tick)
+			m.access((core+1)%4, 0x100000+64*(i%64), i%16 == 0, &ctr, &m.dir, &m.tick)
 		}
 	}
 	warm() // first pass inserts every line into the directory

@@ -14,14 +14,14 @@ import (
 // Full Machine.Run benchmarks, one per workload, drawing pooled machines
 // exactly like engine jobs do (workload.RunSim). Program construction is
 // hoisted out of the loop so the numbers isolate the simulator itself.
-func benchMachineRun(b *testing.B, w workload.Workload, cores int) {
+func benchMachineRun(b *testing.B, w workload.Workload, cores, scale int) {
 	b.Helper()
 	ds, err := datagen.Generate(datagen.Spec{Label: "bench", N: 2048, D: 4, C: 4, Seed: 7})
 	if err != nil {
 		b.Fatal(err)
 	}
 	cfg := sim.DefaultConfig(cores)
-	prog, err := w.BuildProgram(ds, cfg, 4)
+	prog, err := w.BuildProgram(ds, cfg, scale)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -51,6 +51,53 @@ func newQuickFuzzy() workload.Workload {
 	return w
 }
 
-func BenchmarkSimRunKMeans8(b *testing.B) { benchMachineRun(b, newQuickKMeans(), 8) }
-func BenchmarkSimRunFuzzy8(b *testing.B)  { benchMachineRun(b, newQuickFuzzy(), 8) }
-func BenchmarkSimRunHop8(b *testing.B)    { benchMachineRun(b, hop.New(), 8) }
+// benchMachineRunParallel is benchMachineRun through the sharded path:
+// the Par<N> suffix on a benchmark name is its worker count, the bare
+// name is the serial reference. The pairs are the tracked
+// serial-vs-parallel comparison in BENCH_sim.json.
+func benchMachineRunParallel(b *testing.B, w workload.Workload, cores, workers, scale int) {
+	b.Helper()
+	ds, err := datagen.Generate(datagen.Spec{Label: "bench", N: 2048, D: 4, C: 4, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(cores)
+	prog, err := w.BuildProgram(ds, cfg, scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.AcquireMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.RunParallel(prog, workers); err != nil {
+			b.Fatal(err)
+		}
+		m.Release()
+	}
+}
+
+// The 256-core hop rows run at scale 1: hop needs at least two points
+// per core, and the bench dataset divided by 4 leaves too few.
+func BenchmarkSimRunKMeans8(b *testing.B)   { benchMachineRun(b, newQuickKMeans(), 8, 4) }
+func BenchmarkSimRunKMeans64(b *testing.B)  { benchMachineRun(b, newQuickKMeans(), 64, 4) }
+func BenchmarkSimRunKMeans256(b *testing.B) { benchMachineRun(b, newQuickKMeans(), 256, 4) }
+func BenchmarkSimRunFuzzy8(b *testing.B)    { benchMachineRun(b, newQuickFuzzy(), 8, 4) }
+func BenchmarkSimRunFuzzy64(b *testing.B)   { benchMachineRun(b, newQuickFuzzy(), 64, 4) }
+func BenchmarkSimRunFuzzy256(b *testing.B)  { benchMachineRun(b, newQuickFuzzy(), 256, 4) }
+func BenchmarkSimRunHop8(b *testing.B)      { benchMachineRun(b, hop.New(), 8, 4) }
+func BenchmarkSimRunHop64(b *testing.B)     { benchMachineRun(b, hop.New(), 64, 4) }
+func BenchmarkSimRunHop256(b *testing.B)    { benchMachineRun(b, hop.New(), 256, 1) }
+
+func BenchmarkSimRunKMeans256Par4(b *testing.B) {
+	benchMachineRunParallel(b, newQuickKMeans(), 256, 4, 4)
+}
+func BenchmarkSimRunFuzzy256Par4(b *testing.B) {
+	benchMachineRunParallel(b, newQuickFuzzy(), 256, 4, 4)
+}
+func BenchmarkSimRunHop256Par4(b *testing.B) {
+	benchMachineRunParallel(b, hop.New(), 256, 4, 1)
+}

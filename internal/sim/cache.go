@@ -87,12 +87,23 @@ func (c *cache) set(lineAddr uint64) []cacheLine {
 // lookup returns the line holding lineAddr, or nil on miss. A hit updates
 // the LRU clock.
 func (c *cache) lookup(lineAddr uint64) *cacheLine {
-	c.tick++
+	return c.lookupT(lineAddr, &c.tick)
+}
+
+// lookupT is lookup with the LRU clock threaded explicitly. The machine's
+// access paths pass one clock per execution context (the machine's in the
+// serial path, the owning worker's in the parallel path) instead of this
+// cache's own field: LRU victim choice depends only on the relative order
+// of lastUse values within one set, and every set is touched by exactly
+// one context per run, so any strictly increasing clock yields identical
+// eviction decisions.
+func (c *cache) lookupT(lineAddr uint64, tick *uint64) *cacheLine {
+	*tick++
 	base := c.base(lineAddr)
 	tag := lineAddr / uint64(c.sets)
 	for i := base; i < base+c.ways; i++ {
 		if c.lines[i].state != stateInvalid && c.lines[i].tag == tag {
-			c.lines[i].lastUse = c.tick
+			c.lines[i].lastUse = *tick
 			return &c.lines[i]
 		}
 	}
@@ -103,7 +114,12 @@ func (c *cache) lookup(lineAddr uint64) *cacheLine {
 // LRU way if needed. It returns the evicted line address and its state
 // (stateInvalid when no valid line was evicted).
 func (c *cache) insert(lineAddr uint64, st mesiState) (evictedAddr uint64, evictedState mesiState) {
-	c.tick++
+	return c.insertT(lineAddr, st, &c.tick)
+}
+
+// insertT is insert with the LRU clock threaded explicitly (see lookupT).
+func (c *cache) insertT(lineAddr uint64, st mesiState, tick *uint64) (evictedAddr uint64, evictedState mesiState) {
+	*tick++
 	base := c.base(lineAddr)
 	tag := lineAddr / uint64(c.sets)
 	victim := base
@@ -117,7 +133,7 @@ func (c *cache) insert(lineAddr uint64, st mesiState) (evictedAddr uint64, evict
 		}
 	}
 	ev := c.lines[victim]
-	c.lines[victim] = cacheLine{tag: tag, state: st, lastUse: c.tick}
+	c.lines[victim] = cacheLine{tag: tag, state: st, lastUse: *tick}
 	if ev.state == stateInvalid {
 		return 0, stateInvalid
 	}
@@ -167,12 +183,40 @@ func (c *cache) countValid() int {
 	return n
 }
 
+// maxSimCores bounds Config.Cores: the full-map directory tracks sharers
+// in a fixed-width sharerSet of maxSimCores bits.
+const maxSimCores = 256
+
+// sharerSet is a fixed-width bitmask over core ids — the full-map sharer
+// vector of one directory entry. A flat array (not a slice) keeps dirEntry
+// a pure value type, so directory slots still store entries inline and a
+// steady-state directory get allocates nothing.
+type sharerSet [maxSimCores / 64]uint64
+
+func (s *sharerSet) add(core int)      { s[core>>6] |= 1 << uint(core&63) }
+func (s *sharerSet) drop(core int)     { s[core>>6] &^= 1 << uint(core&63) }
+func (s *sharerSet) has(core int) bool { return s[core>>6]&(1<<uint(core&63)) != 0 }
+
+// only resets the set to the single given core.
+func (s *sharerSet) only(core int) {
+	*s = sharerSet{}
+	s.add(core)
+}
+
+func (s *sharerSet) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
 // dirEntry is the full-map directory record for one line. L2 residency is
 // tracked by the L2 cache structure itself, not the directory.
 type dirEntry struct {
-	sharers uint64 // bitmask of L1s holding the line
-	inv     uint32 // invalidations this line has suffered (hot-line stat)
-	owner   int8   // core owning in M/E, -1 when none
+	sharers sharerSet // bitmask of L1s holding the line
+	inv     uint32    // invalidations this line has suffered (hot-line stat)
+	owner   int16     // core owning in M/E, -1 when none
 }
 
 // dirSlot is one open-addressing slot: the line address plus its entry,
@@ -294,7 +338,7 @@ func (d *directory) maxInv() uint64 {
 	return uint64(peak)
 }
 
-func (e *dirEntry) addSharer(core int)      { e.sharers |= 1 << uint(core) }
-func (e *dirEntry) dropSharer(core int)     { e.sharers &^= 1 << uint(core) }
-func (e *dirEntry) hasSharer(core int) bool { return e.sharers&(1<<uint(core)) != 0 }
-func (e *dirEntry) sharerCount() int        { return bits.OnesCount64(e.sharers) }
+func (e *dirEntry) addSharer(core int)      { e.sharers.add(core) }
+func (e *dirEntry) dropSharer(core int)     { e.sharers.drop(core) }
+func (e *dirEntry) hasSharer(core int) bool { return e.sharers.has(core) }
+func (e *dirEntry) sharerCount() int        { return e.sharers.count() }

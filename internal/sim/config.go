@@ -71,8 +71,8 @@ func (c Config) Validate() error {
 	if c.Cores < 1 {
 		return errors.New("sim: need at least one core")
 	}
-	if c.Cores > 64 {
-		return fmt.Errorf("sim: directory bitmask supports at most 64 cores, got %d", c.Cores)
+	if c.Cores > maxSimCores {
+		return fmt.Errorf("sim: directory sharer set supports at most %d cores, got %d", maxSimCores, c.Cores)
 	}
 	if c.IssueWidth < 1 {
 		return errors.New("sim: issue width must be >= 1")

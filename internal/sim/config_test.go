@@ -3,7 +3,7 @@ package sim
 import "testing"
 
 func TestDefaultConfigValid(t *testing.T) {
-	for _, cores := range []int{1, 2, 4, 8, 16, 32, 64} {
+	for _, cores := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
 		cfg := DefaultConfig(cores)
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("DefaultConfig(%d) invalid: %v", cores, err)
@@ -18,7 +18,7 @@ func TestConfigValidation(t *testing.T) {
 		mut  func(*Config)
 	}{
 		{"zero cores", func(c *Config) { c.Cores = 0 }},
-		{"too many cores", func(c *Config) { c.Cores = 65 }},
+		{"too many cores", func(c *Config) { c.Cores = 257 }},
 		{"zero issue", func(c *Config) { c.IssueWidth = 0 }},
 		{"bad line size", func(c *Config) { c.LineSz = 48 }},
 		{"zero L1", func(c *Config) { c.L1Size = 0 }},

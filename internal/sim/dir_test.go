@@ -11,7 +11,7 @@ import (
 // against.
 type refEntry struct {
 	sharers map[int]bool
-	owner   int8
+	owner   int16
 }
 
 // TestDirectoryMatchesMapReference drives the open-addressing table and a
@@ -30,7 +30,7 @@ func TestDirectoryMatchesMapReference(t *testing.T) {
 		}
 		return e
 	}
-	const cores = 64
+	const cores = 256
 	for i := 0; i < 20000; i++ {
 		// Cluster keys the way line addresses cluster (sequential regions)
 		// while still spanning enough distinct keys to grow the table.
@@ -46,12 +46,12 @@ func TestDirectoryMatchesMapReference(t *testing.T) {
 			e.dropSharer(core)
 			delete(r.sharers, core)
 		case 2:
-			owner := int8(rng.Intn(cores))
+			owner := int16(rng.Intn(cores))
 			e.owner = owner
 			r.owner = owner
 		case 3:
 			e.owner = -1
-			e.sharers = 0
+			e.sharers = sharerSet{}
 			r.owner = -1
 			clear(r.sharers)
 		case 4:
@@ -80,14 +80,14 @@ func TestDirectoryMatchesMapReference(t *testing.T) {
 	}
 }
 
-// TestSharerCountMatchesReference property-checks the OnesCount64 popcount
-// against a naive per-bit reference over random sharer masks.
+// TestSharerCountMatchesReference property-checks the per-word popcount
+// against a naive per-bit reference over random multi-word sharer sets.
 func TestSharerCountMatchesReference(t *testing.T) {
-	prop := func(mask uint64) bool {
+	prop := func(mask sharerSet) bool {
 		e := dirEntry{sharers: mask}
 		n := 0
-		for core := 0; core < 64; core++ {
-			if mask&(1<<uint(core)) != 0 {
+		for core := 0; core < maxSimCores; core++ {
+			if mask.has(core) {
 				n++
 			}
 		}
@@ -96,15 +96,24 @@ func TestSharerCountMatchesReference(t *testing.T) {
 	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
 	}
-	// Edge masks the generator may not hit.
-	for _, mask := range []uint64{0, 1, 1 << 63, ^uint64(0)} {
+	// Edge sets the generator may not hit, including bits in every word.
+	edges := []sharerSet{
+		{},
+		{1, 0, 0, 0},
+		{1 << 63, 0, 0, 0},
+		{0, 0, 0, 1 << 63},
+		{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)},
+	}
+	for _, mask := range edges {
 		e := dirEntry{sharers: mask}
 		want := 0
-		for m := mask; m != 0; m &= m - 1 {
-			want++
+		for core := 0; core < maxSimCores; core++ {
+			if mask.has(core) {
+				want++
+			}
 		}
 		if e.sharerCount() != want {
-			t.Errorf("sharerCount(%#x) = %d, want %d", mask, e.sharerCount(), want)
+			t.Errorf("sharerCount(%v) = %d, want %d", mask, e.sharerCount(), want)
 		}
 	}
 }
@@ -161,7 +170,7 @@ func TestDirectoryReset(t *testing.T) {
 	if len(d.slots) != grown {
 		t.Fatalf("reset shrank the table: %d -> %d slots", grown, len(d.slots))
 	}
-	if e := d.get(3); e.owner != -1 || e.sharers != 0 {
+	if e := d.get(3); e.owner != -1 || e.sharers != (sharerSet{}) {
 		t.Error("entry after reset is not fresh")
 	}
 }

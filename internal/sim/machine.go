@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sync/atomic"
 
 	"mergescale/internal/topology"
@@ -33,6 +34,30 @@ type Counters struct {
 	HotLineInvalidations uint64
 }
 
+// merge folds src into c. Event counts are commutative sums; SharerPeak
+// and HotLineInvalidations are maxima, so the merged value is independent
+// of shard order exactly as dir.maxInv is independent of slot order.
+func (c *Counters) merge(src *Counters) {
+	c.L1Hits += src.L1Hits
+	c.L1Misses += src.L1Misses
+	c.L2Hits += src.L2Hits
+	c.L2Misses += src.L2Misses
+	c.C2CTransfers += src.C2CTransfers
+	c.Invalidations += src.Invalidations
+	c.WriteBacks += src.WriteBacks
+	c.L2Evictions += src.L2Evictions
+	c.Barriers += src.Barriers
+	c.Loads += src.Loads
+	c.Stores += src.Stores
+	c.ComputeOps += src.ComputeOps
+	if src.SharerPeak > c.SharerPeak {
+		c.SharerPeak = src.SharerPeak
+	}
+	if src.HotLineInvalidations > c.HotLineInvalidations {
+		c.HotLineInvalidations = src.HotLineInvalidations
+	}
+}
+
 // PhaseTime records the wall-clock cycles spent in one dynamic phase
 // instance (phases may repeat, e.g. "parallel" once per iteration).
 type PhaseTime struct {
@@ -41,6 +66,11 @@ type PhaseTime struct {
 }
 
 // Result is the outcome of one simulation run.
+//
+// Phases and CoreTime alias machine-owned scratch recycled across runs: a
+// Result stays valid until its Machine's next Reset (for pooled machines,
+// until Release hands it back). Callers that outlive the machine — the
+// cacheable workload.SimRun does — must copy the slices they keep.
 type Result struct {
 	Cycles   uint64      // total wall-clock cycles (max over cores)
 	Phases   []PhaseTime // dynamic phase sequence
@@ -61,23 +91,45 @@ func (r Result) PhaseCycles(name string) uint64 {
 }
 
 // PhaseNames returns the distinct phase names in first-appearance order.
-// Phase vocabularies are tiny (the paper's four sections), so a linear
-// containment scan beats allocating a seen-map per call.
 func (r Result) PhaseNames() []string {
 	return DistinctPhaseNames(r.Phases)
 }
 
+// distinctSpillAt is the vocabulary size at which DistinctPhaseNames stops
+// scanning the result slice per instance and builds a seen-set. The
+// paper's phase vocabulary is four names; staying linear below the
+// threshold keeps the common case allocation-free (beyond the result).
+const distinctSpillAt = 16
+
 // DistinctPhaseNames extracts first-appearance-ordered distinct names from
-// a dynamic phase sequence without allocating any scratch map. Shared with
-// workload.SimRun, which carries the same []PhaseTime.
+// a dynamic phase sequence. Small vocabularies (the common case) use a
+// containment scan with no scratch allocation; once the vocabulary
+// outgrows distinctSpillAt the scan spills to a seen-set, so the worst
+// case is O(n) over dynamic phase instances rather than O(n·distinct).
+// Shared with workload.SimRun, which carries the same []PhaseTime.
 func DistinctPhaseNames(phases []PhaseTime) []string {
 	var names []string
+	var seen map[string]struct{}
 outer:
 	for _, p := range phases {
-		for _, n := range names {
-			if n == p.Name {
-				continue outer
+		if seen == nil {
+			for _, n := range names {
+				if n == p.Name {
+					continue outer
+				}
 			}
+			if len(names) == distinctSpillAt {
+				seen = make(map[string]struct{}, 2*distinctSpillAt)
+				for _, n := range names {
+					seen[n] = struct{}{}
+				}
+			}
+		}
+		if seen != nil {
+			if _, ok := seen[p.Name]; ok {
+				continue
+			}
+			seen[p.Name] = struct{}{}
 		}
 		names = append(names, p.Name)
 	}
@@ -96,6 +148,13 @@ type Machine struct {
 	dir    directory
 	l2Hops uint64      // average requester-to-L2-bank distance, cycles already folded in access()
 	cores  []coreState // per-run scheduler scratch, reused across Reset
+	tick   uint64      // LRU clock shared by every cache in the serial path
+	sched  []int32     // serial scheduler min-heap scratch
+
+	coreTimeBuf []uint64    // Result.CoreTime backing, recycled across runs
+	phasesBuf   []PhaseTime // Result.Phases backing, recycled across runs
+
+	par *parRunner // sharded-execution state, built on first RunParallel
 
 	ran      bool
 	released bool   // true while the machine sits in (or was returned to) the pool
@@ -120,6 +179,8 @@ func NewMachine(cfg Config) (*Machine, error) {
 	m.l2.init(cfg.L2Size, cfg.L2Ways, cfg.LineSz)
 	m.l2Hops = uint64(math.Ceil(net.AvgHops()))
 	m.cores = make([]coreState, cfg.Cores)
+	m.sched = make([]int32, 0, cfg.Cores)
+	m.coreTimeBuf = make([]uint64, cfg.Cores)
 	return m, nil
 }
 
@@ -133,23 +194,24 @@ func (m *Machine) Generation() uint64 { return m.gen }
 
 // Reset returns a consumed machine to its freshly-constructed state while
 // keeping every internal table (cache tag stores, the directory slot
-// array, scheduler scratch) allocated, so a pooled machine's next Run
-// performs no setup allocations. The generation counter advances so stale
-// handles are detectable.
+// array, scheduler and result scratch) allocated, so a pooled machine's
+// next Run performs no setup allocations. The generation counter advances
+// so stale handles are detectable. Reset recycles the scratch backing the
+// previous Run's Result.Phases/CoreTime — see the Result lifetime note.
 func (m *Machine) Reset() {
 	for i := range m.l1 {
 		m.l1[i].reset()
 	}
 	m.l2.reset()
 	m.dir.reset()
+	m.tick = 0
 	m.ran = false
 	m.gen++
 }
 
 type coreState struct {
-	time    uint64
-	pc      int
-	blocked bool
+	time uint64
+	pc   int
 }
 
 // runCount tallies Machine.Run invocations process-wide; see Runs.
@@ -160,63 +222,130 @@ var runCount atomic.Uint64
 // perform no simulation at all.
 func Runs() uint64 { return runCount.Load() }
 
-// Run executes the program to completion and returns per-phase timing.
-func (m *Machine) Run(prog *Program) (Result, error) {
+// begin performs the shared Run/RunParallel prologue: single-use guards,
+// program validation, and the process-wide run count.
+func (m *Machine) begin(prog *Program) error {
 	if m.ran {
-		return Result{}, errors.New("sim: Machine is single-use; create a new one per run (or Reset/re-Acquire it)")
+		return errors.New("sim: Machine is single-use; create a new one per run (or Reset/re-Acquire it)")
 	}
 	if m.released {
-		return Result{}, errors.New("sim: Machine was released to the pool; acquire a fresh one")
+		return errors.New("sim: Machine was released to the pool; acquire a fresh one")
 	}
 	m.ran = true
 	runCount.Add(1)
 	if err := prog.Validate(); err != nil {
-		return Result{}, err
+		return err
 	}
 	if prog.Cores() != m.cfg.Cores {
-		return Result{}, fmt.Errorf("sim: program has %d streams, machine has %d cores", prog.Cores(), m.cfg.Cores)
+		return fmt.Errorf("sim: program has %d streams, machine has %d cores", prog.Cores(), m.cfg.Cores)
 	}
+	return nil
+}
 
+// errDeadlock mirrors the serial scheduler's stuck-program report in both
+// execution paths.
+var errDeadlock = errors.New("sim: deadlock — all live cores blocked at a barrier")
+
+// Run executes the program to completion and returns per-phase timing.
+// This is the serial reference implementation; RunParallel must produce
+// bit-identical Results and is property-tested against it.
+func (m *Machine) Run(prog *Program) (Result, error) {
+	if err := m.begin(prog); err != nil {
+		return Result{}, err
+	}
+	return m.runSerial(prog)
+}
+
+// schedLess orders the scheduler heap: lowest core time first, ties broken
+// by lowest core id — exactly the selection rule of the linear scan it
+// replaced (strict < while iterating ids ascending).
+func (m *Machine) schedLess(a, b int32) bool {
+	ca, cb := &m.cores[a], &m.cores[b]
+	return ca.time < cb.time || (ca.time == cb.time && a < b)
+}
+
+// schedFix restores the heap property after the root's time increased:
+// sift the root down. The scheduler only ever changes the root (the core
+// just executed), so this is the whole heap maintenance — O(log P) per op
+// instead of the former O(P) scan.
+func (m *Machine) schedFix(h []int32) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && m.schedLess(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && m.schedLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// schedPop removes the root (a core that finished or blocked at a
+// barrier) and restores the heap.
+func (m *Machine) schedPop(h []int32) []int32 {
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	m.schedFix(h)
+	return h
+}
+
+// closePhase records the phase ending at now into res, drawing storage
+// from the machine-owned scratch on the first phase of a run.
+func (m *Machine) closePhase(res *Result, name string, start, now uint64) {
+	if name == "" {
+		return
+	}
+	if res.Phases == nil {
+		if m.phasesBuf == nil {
+			// One right-sized allocation, amortized over the machine's
+			// lifetime; phase sequences are short (a few per iteration).
+			m.phasesBuf = make([]PhaseTime, 0, 16)
+		}
+		res.Phases = m.phasesBuf[:0]
+	}
+	res.Phases = append(res.Phases, PhaseTime{Name: name, Cycles: now - start})
+}
+
+// endPhases finishes a run's phase accounting: close the open phase at the
+// wall time and adopt any grown backing array for the next run.
+func (m *Machine) endPhases(res *Result, name string, start, wall uint64) {
+	m.closePhase(res, name, start, wall)
+	if res.Phases != nil {
+		m.phasesBuf = res.Phases
+	}
+}
+
+// runSerial is the reference scheduler: one goroutine draining an indexed
+// min-heap of (core time, core id).
+func (m *Machine) runSerial(prog *Program) (Result, error) {
 	cores := m.cores
 	clear(cores)
-	res := Result{CoreTime: make([]uint64, m.cfg.Cores)}
+	res := Result{CoreTime: m.coreTimeBuf}
 	arrivals := 0
 	phaseName := ""
 	var phaseStart uint64
 
-	closePhase := func(now uint64) {
-		if phaseName != "" {
-			if res.Phases == nil {
-				// One right-sized allocation instead of append doublings;
-				// phase sequences are short (a few per iteration).
-				res.Phases = make([]PhaseTime, 0, 16)
-			}
-			res.Phases = append(res.Phases, PhaseTime{Name: phaseName, Cycles: now - phaseStart})
-		}
-	}
-
-	remaining := 0
+	// Seed the heap with every core that has ops. Times are all zero and
+	// ids ascend, so the slice is already a valid heap.
+	h := m.sched[:0]
 	for id := range prog.Streams {
 		if len(prog.Streams[id]) > 0 {
-			remaining++
+			h = append(h, int32(id))
 		}
 	}
 
-	for remaining > 0 {
-		// Pick the lowest-time unblocked core with ops left (tie: lowest id).
-		sel := -1
-		for id := range cores {
-			c := &cores[id]
-			if c.blocked || c.pc >= len(prog.Streams[id]) {
-				continue
-			}
-			if sel == -1 || c.time < cores[sel].time {
-				sel = id
-			}
-		}
-		if sel == -1 {
-			return Result{}, errors.New("sim: deadlock — all live cores blocked at a barrier")
-		}
+	for len(h) > 0 {
+		// The root is the lowest-time unblocked core with ops left
+		// (tie: lowest id).
+		sel := int(h[0])
 		c := &cores[sel]
 		op := prog.Streams[sel][c.pc]
 		c.pc++
@@ -228,17 +357,17 @@ func (m *Machine) Run(prog *Program) (Result, error) {
 			c.time += (op.N + w - 1) / w
 		case OpLoad:
 			res.Counters.Loads++
-			c.time += m.access(sel, op.Addr, false, &res.Counters)
+			c.time += m.access(sel, op.Addr, false, &res.Counters, &m.dir, &m.tick)
 		case OpStore:
 			res.Counters.Stores++
-			c.time += m.access(sel, op.Addr, true, &res.Counters)
+			c.time += m.access(sel, op.Addr, true, &res.Counters, &m.dir, &m.tick)
 		case OpPhase:
-			closePhase(c.time)
+			m.closePhase(&res, phaseName, phaseStart, c.time)
 			phaseName = op.Phase
 			phaseStart = c.time
 		case OpBarrier:
-			c.blocked = true
 			arrivals++
+			h = m.schedPop(h) // blocked: out of the heap until release
 			if arrivals == m.cfg.Cores {
 				var maxT uint64
 				for id := range cores {
@@ -249,15 +378,28 @@ func (m *Machine) Run(prog *Program) (Result, error) {
 				release := maxT + m.cfg.BarLat
 				for id := range cores {
 					cores[id].time = release
-					cores[id].blocked = false
 				}
 				arrivals = 0
 				res.Counters.Barriers++
+				// Refill with every unfinished core: times are all equal
+				// and ids ascend, so this is again a valid heap.
+				h = h[:0]
+				for id := range prog.Streams {
+					if cores[id].pc < len(prog.Streams[id]) {
+						h = append(h, int32(id))
+					}
+				}
 			}
+			continue
 		}
 		if c.pc >= len(prog.Streams[sel]) {
-			remaining--
+			h = m.schedPop(h)
+		} else {
+			m.schedFix(h)
 		}
+	}
+	if arrivals > 0 {
+		return Result{}, errDeadlock
 	}
 
 	var wall uint64
@@ -267,7 +409,7 @@ func (m *Machine) Run(prog *Program) (Result, error) {
 			wall = cores[id].time
 		}
 	}
-	closePhase(wall)
+	m.endPhases(&res, phaseName, phaseStart, wall)
 	res.Cycles = wall
 	res.Counters.HotLineInvalidations = m.dir.maxInv()
 	return res, nil
@@ -278,16 +420,25 @@ func (m *Machine) Run(prog *Program) (Result, error) {
 // state (the line has been touched before) it performs zero heap
 // allocations — the allocation-budget test locks that in — because the
 // directory stores entries by value and every table below is preallocated.
-func (m *Machine) access(id int, addr uint64, write bool, ctr *Counters) uint64 {
+//
+// The directory and LRU clock are threaded explicitly so the sharded path
+// can run the same protocol code against per-worker instances: dir is
+// &m.dir and tick is &m.tick in the serial path, the owning worker's pair
+// in the parallel path. Every structure an access touches — the line's L1
+// set in any core's cache, the line's L2 set, eviction victims (same set),
+// and their directory entries — is determined by the line address modulo
+// the shard width, which is what makes the address-range partition race
+// free.
+func (m *Machine) access(id int, addr uint64, write bool, ctr *Counters, dir *directory, tick *uint64) uint64 {
 	line := addr >> m.cfg.lineShift()
 	l1 := &m.l1[id]
 	// The only directory call that may insert (and thus grow the table):
 	// every later dir.get below resolves an address still resident in some
 	// cache, which is always already tracked, so e stays valid throughout.
-	e := m.dir.get(line)
+	e := dir.get(line)
 	lat := m.cfg.L1Lat
 
-	if hit := l1.lookup(line); hit != nil {
+	if hit := l1.lookupT(line, tick); hit != nil {
 		ctr.L1Hits++
 		if !write {
 			return lat // read hit in any valid state
@@ -297,14 +448,14 @@ func (m *Machine) access(id int, addr uint64, write bool, ctr *Counters) uint64 
 			return lat
 		case stateExclusive:
 			hit.state = stateModified
-			e.owner = int8(id)
+			e.owner = int16(id)
 			return lat
 		case stateShared:
 			// Upgrade: invalidate all other sharers.
-			lat += m.invalidateOthers(id, line, e, ctr)
+			lat += m.invalidateOthers(id, line, e, ctr, dir, tick)
 			hit.state = stateModified
-			e.owner = int8(id)
-			e.sharers = 1 << uint(id)
+			e.owner = int16(id)
+			e.sharers.only(id)
 			return lat
 		}
 	}
@@ -313,7 +464,7 @@ func (m *Machine) access(id int, addr uint64, write bool, ctr *Counters) uint64 
 	// Remote M copy? Intervene with a cache-to-cache transfer.
 	if e.owner >= 0 && int(e.owner) != id {
 		owner := int(e.owner)
-		if st := m.l1[owner].lookup(line); st != nil && (st.state == stateModified || st.state == stateExclusive) {
+		if st := m.l1[owner].lookupT(line, tick); st != nil && (st.state == stateModified || st.state == stateExclusive) {
 			dist, _ := m.net.HopDistance(id, owner)
 			lat += m.cfg.XferLat + m.cfg.HopLat*uint64(dist)
 			ctr.C2CTransfers++
@@ -327,11 +478,11 @@ func (m *Machine) access(id int, addr uint64, write bool, ctr *Counters) uint64 
 				e.addSharer(owner)
 			}
 			e.owner = -1
-			m.installL2(line, ctr) // dirty data written back to L2
-			m.installL1(id, line, write, e, ctr)
+			m.installL2(line, ctr, dir, tick) // dirty data written back to L2
+			m.installL1(id, line, write, e, ctr, dir, tick)
 			if write {
-				e.owner = int8(id)
-				e.sharers = 1 << uint(id)
+				e.owner = int16(id)
+				e.sharers.only(id)
 			} else {
 				e.addSharer(id)
 			}
@@ -343,26 +494,26 @@ func (m *Machine) access(id int, addr uint64, write bool, ctr *Counters) uint64 
 	}
 
 	if write {
-		lat += m.invalidateOthers(id, line, e, ctr)
+		lat += m.invalidateOthers(id, line, e, ctr, dir, tick)
 	}
 
 	// L2 (shared, at average mesh distance).
 	lat += m.cfg.L2Lat + m.cfg.HopLat*m.l2Hops
-	if m.l2.lookup(line) != nil {
+	if m.l2.lookupT(line, tick) != nil {
 		ctr.L2Hits++
 	} else {
 		ctr.L2Misses++
 		lat += m.cfg.MemLat
-		m.installL2(line, ctr)
+		m.installL2(line, ctr, dir, tick)
 	}
 
-	m.installL1(id, line, write, e, ctr)
+	m.installL1(id, line, write, e, ctr, dir, tick)
 	if write {
-		e.owner = int8(id)
-		e.sharers = 1 << uint(id)
+		e.owner = int16(id)
+		e.sharers.only(id)
 	} else {
 		if e.sharerCount() == 0 {
-			e.owner = int8(id) // exclusive
+			e.owner = int16(id) // exclusive
 		}
 		e.addSharer(id)
 	}
@@ -380,23 +531,31 @@ func noteSharerPeak(e *dirEntry, ctr *Counters) {
 }
 
 // invalidateOthers invalidates every other L1 copy of line, returning the
-// added latency.
-func (m *Machine) invalidateOthers(id int, line uint64, e *dirEntry, ctr *Counters) uint64 {
+// added latency. It walks the set bits of the sharer vector word by word —
+// O(sharers), not O(Cores) — in ascending core order, which keeps the
+// latency sum and inv increments deterministic.
+func (m *Machine) invalidateOthers(id int, line uint64, e *dirEntry, ctr *Counters, dir *directory, tick *uint64) uint64 {
 	var lat uint64
-	for core := 0; core < m.cfg.Cores; core++ {
-		if core == id || !e.hasSharer(core) {
-			continue
-		}
-		if st := m.l1[core].invalidate(line); st != stateInvalid {
-			lat += m.cfg.InvLat
-			ctr.Invalidations++
-			e.inv++
-			if st == stateModified {
-				m.installL2(line, ctr)
-				ctr.WriteBacks++
+	for wi := range e.sharers {
+		w := e.sharers[wi]
+		base := wi << 6
+		for w != 0 {
+			core := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			if core == id {
+				continue
 			}
+			if st := m.l1[core].invalidate(line); st != stateInvalid {
+				lat += m.cfg.InvLat
+				ctr.Invalidations++
+				e.inv++
+				if st == stateModified {
+					m.installL2(line, ctr, dir, tick)
+					ctr.WriteBacks++
+				}
+			}
+			e.dropSharer(core)
 		}
-		e.dropSharer(core)
 	}
 	if e.owner >= 0 && int(e.owner) != id {
 		e.owner = -1
@@ -408,48 +567,52 @@ func (m *Machine) invalidateOthers(id int, line uint64, e *dirEntry, ctr *Counte
 // the eviction side effects (directory update, dirty writeback). The
 // evicted line was resident in L1, so its directory entry already exists —
 // the dir.get below never inserts (see directory's stability contract).
-func (m *Machine) installL1(id int, line uint64, write bool, e *dirEntry, ctr *Counters) {
+func (m *Machine) installL1(id int, line uint64, write bool, e *dirEntry, ctr *Counters, dir *directory, tick *uint64) {
 	st := stateShared
 	if write {
 		st = stateModified
 	} else if e.sharerCount() == 0 {
 		st = stateExclusive
 	}
-	evAddr, evState := m.l1[id].insert(line, st)
+	evAddr, evState := m.l1[id].insertT(line, st, tick)
 	if evState == stateInvalid {
 		return
 	}
-	ev := m.dir.get(evAddr)
+	ev := dir.get(evAddr)
 	ev.dropSharer(id)
-	if ev.owner == int8(id) {
+	if ev.owner == int16(id) {
 		ev.owner = -1
 	}
 	if evState == stateModified {
 		ctr.WriteBacks++
-		m.installL2(evAddr, ctr)
+		m.installL2(evAddr, ctr, dir, tick)
 	}
 }
 
 // installL2 ensures line is present in the (inclusive) L2, back-invalidating
 // L1 copies of any valid victim. The victim was resident in L2, so its
 // directory entry already exists — the dir.get below never inserts.
-func (m *Machine) installL2(line uint64, ctr *Counters) {
-	if m.l2.lookup(line) != nil {
+func (m *Machine) installL2(line uint64, ctr *Counters, dir *directory, tick *uint64) {
+	if m.l2.lookupT(line, tick) != nil {
 		return
 	}
-	evAddr, evState := m.l2.insert(line, stateShared)
+	evAddr, evState := m.l2.insertT(line, stateShared, tick)
 	if evState == stateInvalid {
 		return
 	}
 	ctr.L2Evictions++
-	ev := m.dir.get(evAddr)
-	for core := 0; core < m.cfg.Cores; core++ {
-		if ev.hasSharer(core) {
+	ev := dir.get(evAddr)
+	for wi := range ev.sharers {
+		w := ev.sharers[wi]
+		base := wi << 6
+		for w != 0 {
+			core := base + bits.TrailingZeros64(w)
+			w &= w - 1
 			m.l1[core].invalidate(evAddr)
 			ctr.Invalidations++
 			ev.inv++
 		}
 	}
-	ev.sharers = 0
+	ev.sharers = sharerSet{}
 	ev.owner = -1
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -368,5 +370,28 @@ func TestDeadlockDetection(t *testing.T) {
 	m := mustMachine(t, 2)
 	if _, err := m.Run(p); err == nil {
 		t.Error("expected deadlock or validation error")
+	}
+}
+
+// TestDistinctPhaseNamesSpill covers both extraction regimes: the
+// allocation-free containment scan below distinctSpillAt and the seen-set
+// it spills to above it. First-appearance order and dedup must hold
+// across the switch, including re-mentions of pre-spill names afterward.
+func TestDistinctPhaseNamesSpill(t *testing.T) {
+	var phases []PhaseTime
+	var want []string
+	for i := 0; i < 3*distinctSpillAt; i++ {
+		name := fmt.Sprintf("phase-%02d", i)
+		want = append(want, name)
+		phases = append(phases,
+			PhaseTime{Name: name},
+			PhaseTime{Name: name},      // immediate repeat
+			PhaseTime{Name: want[i/2]}) // re-mention an earlier name
+	}
+	if got := DistinctPhaseNames(phases); !slices.Equal(got, want) {
+		t.Errorf("DistinctPhaseNames over spill:\n got %v\nwant %v", got, want)
+	}
+	if got := DistinctPhaseNames(nil); got != nil {
+		t.Errorf("DistinctPhaseNames(nil) = %v, want nil", got)
 	}
 }

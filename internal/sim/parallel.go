@@ -1,0 +1,461 @@
+package sim
+
+import (
+	"math"
+	"sync"
+)
+
+// This file implements sharded intra-run execution: one Machine.Run spread
+// across worker goroutines with results bit-identical to the serial
+// scheduler in machine.go. The partition is by address range:
+//
+//	owner(line) = line & (W-1)
+//
+// with W a power of two dividing both the L1 and the L2 set count, so
+// every cache set — each core's L1 set and the shared L2 set for a line,
+// plus every eviction victim and back-invalidated line (same set, hence
+// same residue mod W) — belongs to exactly one worker. Each worker owns a
+// private directory, Counters, and LRU clock for its range; no lock is
+// ever taken on the protocol state.
+//
+// Cores move between workers as tokens (core id, clock, pc). Execution
+// proceeds in master-coordinated rounds under a conservative lookahead
+// floor. Every access costs at least L1Lat >= 1 cycle, and a token can
+// only reach shard w by executing an access on some OTHER shard first,
+// so any future arrival at w is bounded below by
+//
+//	(smallest token time outside w) + L1Lat.
+//
+// That bound is worker w's round floor: it executes its heap in (time,
+// core id) order strictly below the floor. One subtlety makes the floor
+// dynamic — when w routes a token away mid-round (departure time d), the
+// token's chain can execute a single access elsewhere and hop straight
+// back, so w lowers its own floor to d + L1Lat before continuing. With
+// both rules, each shard consumes its accesses in exactly the (time,
+// core id, program order) sequence the serial scheduler would — and
+// identical per-shard access order means identical cache, directory and
+// latency outcomes. The worker holding the globally smallest token
+// always clears its floor, so every round makes progress. Configs with
+// L1Lat == 0 fall back to the serial path (shardWidth returns 1).
+//
+// Barriers and the final merge are sequence-ordered, never
+// arrival-ordered: the master releases a barrier only when all cores
+// arrived (max arrival + BarLat, exactly the serial rule), phase markers
+// are replayed by core-0 program order, counters merge as commutative
+// sums, and SharerPeak/HotLineInvalidations merge as maxima — as
+// slot-order-independent as dir.maxInv.
+
+// coreToken is a core's scheduling state while it travels between
+// workers: its clock and the index of its next op. The same triple also
+// records barrier arrivals (pc already past the barrier).
+type coreToken struct {
+	time uint64
+	core int32
+	pc   int32
+}
+
+// tokLess orders tokens by (time, core id) — the serial selection rule.
+func tokLess(a, b coreToken) bool {
+	return a.time < b.time || (a.time == b.time && a.core < b.core)
+}
+
+// tokPush adds a token to a binary min-heap held in h.
+func tokPush(h []coreToken, t coreToken) []coreToken {
+	h = append(h, t)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !tokLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+// tokPop removes the heap root.
+func tokPop(h []coreToken) []coreToken {
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && tokLess(h[l], h[min]) {
+			min = l
+		}
+		if r < n && tokLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return h
+}
+
+// phaseEvent is one OpPhase encounter: the marker's position in core 0's
+// stream and the core-0 clock when it was passed. Replaying events in pc
+// order reproduces the serial phase accounting regardless of which worker
+// scanned which segment.
+type phaseEvent struct {
+	time uint64
+	pc   int32
+}
+
+// parWorker is the per-shard execution state. Everything here is owned by
+// one worker goroutine during a round and read by the master only between
+// rounds (the WaitGroup/gate channel pair orders the handoff).
+type parWorker struct {
+	id       int
+	dir      directory   // sharers/owner/inv for owned lines only
+	tick     uint64      // LRU clock for owned sets
+	ctr      Counters    // merged into the Result after the last round
+	heap     []coreToken // pending accesses for owned lines, (time, core) min-heap
+	inbox    []coreToken // tokens delivered by the master at round start
+	out      [][]coreToken
+	arrivals []coreToken // barrier arrivals this round
+	phases   []phaseEvent
+	gate     chan uint64 // round gate in, close = run over
+}
+
+// parRunner is the reusable sharded-execution state of one Machine,
+// recycled across runs like every other table (building it is the only
+// per-width allocation; per-run cost is W goroutine spawns and gates).
+type parRunner struct {
+	mask       uint64 // owner(line) = line & mask
+	ws         []parWorker
+	mins       []uint64 // per-worker token minimum, master scratch
+	blocked    []coreToken
+	blockedAlt []coreToken // swap buffer for consecutive-barrier releases
+	phases     []phaseEvent
+	ctr        Counters // master-side counts: Barriers + master-scanned segments
+	wg         sync.WaitGroup
+}
+
+// shardWidth picks the worker count for RunParallel: the largest power of
+// two not exceeding the request that divides both set counts (both are
+// powers of two, so <= implies divides). Zero-latency L1 configs shard to
+// 1 — the round gate's ordering argument needs every access to advance
+// the clock.
+func (m *Machine) shardWidth(workers int) int {
+	if workers < 2 || m.cfg.L1Lat == 0 {
+		return 1
+	}
+	w := 1
+	for 2*w <= workers && 2*w <= m.l1[0].sets && 2*w <= m.l2.sets {
+		w *= 2
+	}
+	return w
+}
+
+// shardRunner builds (or recycles) the runner for a W-way run.
+func (m *Machine) shardRunner(W int) *parRunner {
+	r := m.par
+	if r == nil || len(r.ws) != W {
+		r = &parRunner{
+			mask: uint64(W - 1),
+			ws:   make([]parWorker, W),
+			mins: make([]uint64, W),
+		}
+		for i := range r.ws {
+			r.ws[i].id = i
+			r.ws[i].out = make([][]coreToken, W)
+		}
+		m.par = r
+	}
+	for i := range r.ws {
+		w := &r.ws[i]
+		w.dir.init() // allocates on first use, resets thereafter
+		w.tick = 0
+		w.ctr = Counters{}
+		w.heap = w.heap[:0]
+		w.inbox = w.inbox[:0]
+		for v := range w.out {
+			w.out[v] = w.out[v][:0]
+		}
+		w.arrivals = w.arrivals[:0]
+		w.phases = w.phases[:0]
+	}
+	r.blocked = r.blocked[:0]
+	r.phases = r.phases[:0]
+	r.ctr = Counters{}
+	return r
+}
+
+// RunParallel executes the program like Run, sharding the work across up
+// to `workers` goroutines. The Result is bit-identical to Run's — the
+// property tests diff the two — and engine cache keys deliberately exclude
+// the worker count for that reason. workers <= 1 (and configurations that
+// cannot shard) run the serial reference path inline.
+func (m *Machine) RunParallel(prog *Program, workers int) (Result, error) {
+	if err := m.begin(prog); err != nil {
+		return Result{}, err
+	}
+	W := m.shardWidth(workers)
+	if W < 2 {
+		return m.runSerial(prog)
+	}
+	return m.runSharded(prog, W)
+}
+
+// parScan advances tok through state-independent ops — compute bursts and
+// phase markers — until the next memory access, barrier, or end of
+// stream. Latencies here depend only on the op, so any context (master or
+// worker) can scan a segment with identical outcomes.
+func (m *Machine) parScan(prog *Program, tok *coreToken, ctr *Counters, phases *[]phaseEvent) parStop {
+	stream := prog.Streams[tok.core]
+	for int(tok.pc) < len(stream) {
+		op := &stream[tok.pc]
+		switch op.Kind {
+		case OpCompute:
+			ctr.ComputeOps += op.N
+			w := uint64(m.cfg.IssueWidth)
+			tok.time += (op.N + w - 1) / w
+		case OpPhase:
+			*phases = append(*phases, phaseEvent{time: tok.time, pc: tok.pc})
+		case OpLoad, OpStore:
+			return parAccess
+		case OpBarrier:
+			tok.pc++ // resume past the barrier on release
+			return parBarrier
+		}
+		tok.pc++
+	}
+	return parEnd
+}
+
+type parStop uint8
+
+const (
+	parAccess parStop = iota
+	parBarrier
+	parEnd
+)
+
+// masterRoute scans tok's next segment on the master and files the token
+// where it now belongs: the owning worker's inbox, the barrier-arrival
+// list, or (run off the end) the per-core result clock. Only called
+// between rounds, when no worker is executing.
+func (m *Machine) masterRoute(prog *Program, r *parRunner, tok coreToken, shift uint) {
+	switch m.parScan(prog, &tok, &r.ctr, &r.phases) {
+	case parAccess:
+		line := prog.Streams[tok.core][tok.pc].Addr >> shift
+		w := &r.ws[line&r.mask]
+		w.inbox = append(w.inbox, tok)
+	case parBarrier:
+		r.blocked = append(r.blocked, tok)
+	case parEnd:
+		m.coreTimeBuf[tok.core] = tok.time
+	}
+}
+
+// shardWorkerLoop is one worker goroutine: per round, fold the inbox into
+// the heap and execute owned accesses in (time, core) order strictly
+// below the floor, routing each advanced token onward. Routing a token
+// to another shard lowers the floor to departure + L1Lat — the earliest
+// the departing chain could hop back into this shard.
+func (m *Machine) shardWorkerLoop(prog *Program, r *parRunner, w *parWorker) {
+	shift := m.cfg.lineShift()
+	lat := m.cfg.L1Lat
+	for floor := range w.gate {
+		for _, tok := range w.inbox {
+			w.heap = tokPush(w.heap, tok)
+		}
+		w.inbox = w.inbox[:0]
+		for len(w.heap) > 0 && w.heap[0].time < floor {
+			tok := w.heap[0]
+			w.heap = tokPop(w.heap)
+			op := &prog.Streams[tok.core][tok.pc]
+			write := op.Kind == OpStore
+			if write {
+				w.ctr.Stores++
+			} else {
+				w.ctr.Loads++
+			}
+			tok.time += m.access(int(tok.core), op.Addr, write, &w.ctr, &w.dir, &w.tick)
+			tok.pc++
+			switch m.parScan(prog, &tok, &w.ctr, &w.phases) {
+			case parAccess:
+				line := prog.Streams[tok.core][tok.pc].Addr >> shift
+				v := int(line & r.mask)
+				if v == w.id {
+					w.heap = tokPush(w.heap, tok)
+				} else {
+					w.out[v] = append(w.out[v], tok)
+					if d := tok.time + lat; d < floor {
+						floor = d
+					}
+				}
+			case parBarrier:
+				w.arrivals = append(w.arrivals, tok)
+			case parEnd:
+				m.coreTimeBuf[tok.core] = tok.time
+			}
+		}
+		r.wg.Done()
+	}
+}
+
+// runSharded drives the round loop: deliver tokens, compute gates, let
+// the workers drain, and reconcile barriers — then merge the shards into
+// one Result.
+func (m *Machine) runSharded(prog *Program, W int) (Result, error) {
+	r := m.shardRunner(W)
+	shift := m.cfg.lineShift()
+	res := Result{CoreTime: m.coreTimeBuf}
+
+	// Dispatch every core's first segment; empty streams finish at time 0
+	// here, matching the serial scheduler (which never selects them).
+	for id := range prog.Streams {
+		m.masterRoute(prog, r, coreToken{core: int32(id)}, shift)
+	}
+
+	for i := range r.ws {
+		r.ws[i].gate = make(chan uint64, 1)
+		go m.shardWorkerLoop(prog, r, &r.ws[i])
+	}
+	defer func() {
+		for i := range r.ws {
+			close(r.ws[i].gate)
+		}
+	}()
+
+	for {
+		// Deliver last round's outboxes before taking the census.
+		for wi := range r.ws {
+			w := &r.ws[wi]
+			for v := range w.out {
+				if len(w.out[v]) > 0 {
+					dst := &r.ws[v]
+					dst.inbox = append(dst.inbox, w.out[v]...)
+					w.out[v] = w.out[v][:0]
+				}
+			}
+		}
+		active := 0
+		for wi := range r.ws {
+			w := &r.ws[wi]
+			active += len(w.heap) + len(w.inbox)
+			mw := uint64(math.MaxUint64)
+			if len(w.heap) > 0 {
+				mw = w.heap[0].time
+			}
+			for _, tok := range w.inbox {
+				if tok.time < mw {
+					mw = tok.time
+				}
+			}
+			r.mins[wi] = mw
+		}
+		if active == 0 {
+			if len(r.blocked) == m.cfg.Cores {
+				// Barrier: release at max arrival + BarLat, the serial
+				// rule. Swap the arrival buffers first — masterRoute may
+				// append cores re-blocking at a consecutive barrier.
+				var maxT uint64
+				for _, b := range r.blocked {
+					if b.time > maxT {
+						maxT = b.time
+					}
+				}
+				release := maxT + m.cfg.BarLat
+				r.ctr.Barriers++
+				blk := r.blocked
+				r.blocked, r.blockedAlt = r.blockedAlt[:0], blk
+				for _, b := range blk {
+					b.time = release
+					m.masterRoute(prog, r, b, shift)
+				}
+				continue
+			}
+			if len(r.blocked) > 0 {
+				return Result{}, errDeadlock
+			}
+			break
+		}
+		// Round floor for worker w: the smallest token time held by any
+		// OTHER worker (min1, or min2 when w alone holds the minimum)
+		// plus the L1Lat lookahead. The worker holding the global
+		// minimum always clears its floor, so every round makes
+		// progress; a worker with no rivals (sentinel minimum) drains
+		// freely, bounded only by its own mid-round departures.
+		min1, min2 := uint64(math.MaxUint64), uint64(math.MaxUint64)
+		n1 := 0
+		for _, mw := range r.mins {
+			switch {
+			case mw < min1:
+				min2 = min1
+				min1 = mw
+				n1 = 1
+			case mw == min1:
+				n1++
+			case mw < min2:
+				min2 = mw
+			}
+		}
+		r.wg.Add(W)
+		for wi := range r.ws {
+			others := min1
+			if n1 == 1 && r.mins[wi] == min1 {
+				others = min2
+			}
+			floor := uint64(math.MaxUint64)
+			if others != math.MaxUint64 {
+				floor = others + m.cfg.L1Lat
+			}
+			r.ws[wi].gate <- floor
+		}
+		r.wg.Wait()
+		for wi := range r.ws {
+			w := &r.ws[wi]
+			r.blocked = append(r.blocked, w.arrivals...)
+			w.arrivals = w.arrivals[:0]
+		}
+	}
+
+	// Merge: counter sums/maxima, wall clock, and the phase replay in
+	// core-0 program order.
+	for wi := range r.ws {
+		w := &r.ws[wi]
+		w.ctr.HotLineInvalidations = w.dir.maxInv()
+		r.ctr.merge(&w.ctr)
+	}
+	res.Counters = r.ctr
+
+	var wall uint64
+	for id := range res.CoreTime {
+		if res.CoreTime[id] > wall {
+			wall = res.CoreTime[id]
+		}
+	}
+	res.Cycles = wall
+
+	events := r.phases
+	for wi := range r.ws {
+		events = append(events, r.ws[wi].phases...)
+	}
+	// Insertion sort by stream position: the list is tiny (one entry per
+	// dynamic phase) and mostly ordered, and sorting in place keeps the
+	// merge allocation-free.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].pc < events[j-1].pc; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+	name := ""
+	var start uint64
+	for _, ev := range events {
+		m.closePhase(&res, name, start, ev.time)
+		name = prog.Streams[0][ev.pc].Phase
+		start = ev.time
+	}
+	m.endPhases(&res, name, start, wall)
+	r.phases = events[:0]
+
+	return res, nil
+}

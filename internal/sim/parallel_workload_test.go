@@ -1,0 +1,136 @@
+package sim_test
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"mergescale/internal/sim"
+	"mergescale/internal/workload"
+	"mergescale/internal/workload/contend"
+	"mergescale/internal/workload/datagen"
+	"mergescale/internal/workload/hop"
+)
+
+// snapResult deep-copies a Result out of the machine scratch that backs
+// Phases/CoreTime so it survives the machine's next Reset.
+func snapResult(r sim.Result) sim.Result {
+	r.Phases = slices.Clone(r.Phases)
+	r.CoreTime = slices.Clone(r.CoreTime)
+	return r
+}
+
+// sameResult fails the test on the first field where two Results differ —
+// bit-identity over every counter, per-core clock, and phase.
+func sameResult(t *testing.T, label string, want, got sim.Result) {
+	t.Helper()
+	if got.Cycles != want.Cycles {
+		t.Errorf("%s: Cycles %d, want %d", label, got.Cycles, want.Cycles)
+	}
+	if got.Counters != want.Counters {
+		t.Errorf("%s: Counters\n got %+v\nwant %+v", label, got.Counters, want.Counters)
+	}
+	if !slices.Equal(got.CoreTime, want.CoreTime) {
+		t.Errorf("%s: CoreTime\n got %v\nwant %v", label, got.CoreTime, want.CoreTime)
+	}
+	if !slices.Equal(got.Phases, want.Phases) {
+		t.Errorf("%s: Phases\n got %v\nwant %v", label, got.Phases, want.Phases)
+	}
+}
+
+// TestRunParallelMatchesSerialWorkloads extends the random-program
+// bit-identity property to every real program source the repo runs: the
+// registry workloads (kmeans, fuzzy c-means, hop accumulation) and both
+// modes of the contended zipf family, across worker counts {1,2,4,8} with
+// repeated executions on the same machine. Runs under -race in tier-1.
+func TestRunParallelMatchesSerialWorkloads(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Spec{Label: "par", N: 1024, D: 4, C: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	splitContend := contend.New()
+	splitContend.Cfg.Mode = contend.Split
+	cases := []struct {
+		name string
+		w    workload.Workload
+	}{
+		{"kmeans", newQuickKMeans()},
+		{"fuzzy", newQuickFuzzy()},
+		{"hop", hop.New()},
+		{"contend-joined", contend.New()},
+		{"contend-split", splitContend},
+	}
+	coreCounts := []int{4, 16}
+	if testing.Short() {
+		coreCounts = coreCounts[:1]
+	}
+	for _, cores := range coreCounts {
+		cfg := sim.DefaultConfig(cores)
+		for _, tc := range cases {
+			prog, err := tc.w.BuildProgram(ds, cfg, 8)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			m, err := sim.NewMachine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := m.Run(prog)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			ref := snapResult(want)
+			for _, workers := range []int{1, 2, 4, 8} {
+				for rep := 0; rep < 2; rep++ {
+					m.Reset()
+					got, err := m.RunParallel(prog, workers)
+					if err != nil {
+						t.Fatalf("%s cores %d workers %d: %v", tc.name, cores, workers, err)
+					}
+					label := fmt.Sprintf("%s cores %d workers %d rep %d", tc.name, cores, workers, rep)
+					sameResult(t, label, ref, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSimParallelismKnob pins the workload-layer contract: flipping the
+// process-wide parallelism knob changes neither RunSim's output (the
+// sharded path is bit-identical) nor SimRunKey (cached serial results
+// stay valid at any worker count, and vice versa).
+func TestSimParallelismKnob(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Spec{Label: "par", N: 512, D: 4, C: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newQuickKMeans()
+	cfg := sim.DefaultConfig(8)
+
+	prev := workload.SetSimParallelism(1)
+	defer workload.SetSimParallelism(prev)
+
+	serial, err := workload.RunSim(w, ds, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyBefore := workload.SimRunKey(w, ds.Spec, cfg, 8)
+
+	workload.SetSimParallelism(4)
+	if got := workload.SimParallelism(); got != 4 {
+		t.Fatalf("SimParallelism() = %d after SetSimParallelism(4)", got)
+	}
+	parallel, err := workload.RunSim(w, ds, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Cycles != serial.Cycles || parallel.Counters != serial.Counters {
+		t.Errorf("parallel RunSim diverged:\n got %+v\nwant %+v", parallel, serial)
+	}
+	if !slices.Equal(parallel.Phases, serial.Phases) {
+		t.Errorf("parallel RunSim phases diverged:\n got %v\nwant %v", parallel.Phases, serial.Phases)
+	}
+	if keyAfter := workload.SimRunKey(w, ds.Spec, cfg, 8); keyAfter != keyBefore {
+		t.Errorf("SimRunKey changed with the parallelism knob: %q vs %q", keyAfter, keyBefore)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"slices"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"mergescale/internal/engine"
 	"mergescale/internal/sim"
@@ -79,12 +81,41 @@ func simProgram(w Workload, ds *datagen.Dataset, cfg sim.Config, scale int) (*si
 	return prog, nil
 }
 
+// simParallelism is the intra-run worker count RunSim hands to
+// sim.Machine.RunParallel. The default of 1 keeps the serial reference
+// path; because the sharded path is bit-identical (property-tested), the
+// knob is a pure wall-clock tunable and is deliberately NOT part of
+// SimRunKey — cached results are valid at any setting.
+var simParallelism atomic.Int32
+
+// SetSimParallelism sets the intra-run simulator worker count used by
+// RunSim (and everything layered on it: engine jobs, experiments, the
+// CLIs). n <= 1 selects the serial reference path. The previous value is
+// returned. Safe to call concurrently with running simulations — each
+// RunSim samples the knob once.
+func SetSimParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(simParallelism.Swap(int32(n)))
+}
+
+// SimParallelism reports the current intra-run worker count (minimum 1).
+func SimParallelism() int {
+	if n := simParallelism.Load(); n > 1 {
+		return int(n)
+	}
+	return 1
+}
+
 // RunSim compiles the workload, draws a machine for cfg from the machine
 // pool (equivalent to a fresh single-use sim.Machine — the pool hands out
 // Reset machines and Run still refuses reuse without Reset), runs it once,
 // and strips the result down to a cacheable SimRun. The machine returns to
 // the pool on every path and the compiled program is memoized, so
 // steady-state sweeps construct no machines and compile no programs.
+// Result.Phases aliases scratch the released machine will recycle, so the
+// slice kept in the SimRun is a copy.
 func RunSim(w Workload, ds *datagen.Dataset, cfg sim.Config, scale int) (SimRun, error) {
 	prog, err := simProgram(w, ds, cfg, scale)
 	if err != nil {
@@ -95,7 +126,7 @@ func RunSim(w Workload, ds *datagen.Dataset, cfg sim.Config, scale int) (SimRun,
 		return SimRun{}, err
 	}
 	defer m.Release()
-	res, err := m.Run(prog)
+	res, err := m.RunParallel(prog, SimParallelism())
 	if err != nil {
 		return SimRun{}, err
 	}
@@ -104,7 +135,7 @@ func RunSim(w Workload, ds *datagen.Dataset, cfg sim.Config, scale int) (SimRun,
 		Cores:    cfg.Cores,
 		Scale:    scale,
 		Cycles:   res.Cycles,
-		Phases:   res.Phases,
+		Phases:   slices.Clone(res.Phases),
 		Counters: res.Counters,
 	}, nil
 }

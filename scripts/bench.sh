@@ -44,6 +44,9 @@
 #   BENCH_COUNT        -count value       (default 1)
 #   BENCH_SERVE_REQUESTS     load trace length          (default 400)
 #   BENCH_SERVE_CONCURRENCY  load closed-loop workers   (default 8)
+#   BENCH_SUITES       space-separated subset of "engine sim contend
+#                      serve" to run (default: all four) — regenerate one
+#                      JSON file without paying for the rest
 #
 # Note the CI/dev container exposes 1 CPU, where engine and serial times
 # converge (that delta is the fan-out overhead bound); judge speedups on
@@ -55,6 +58,14 @@ set -eu
 cd "$(dirname "$0")/.."
 
 count=${BENCH_COUNT:-1}
+suites=${BENCH_SUITES:-engine sim contend serve}
+
+want_suite() {
+    case " $suites " in
+        *" $1 "*) return 0 ;;
+        *) return 1 ;;
+    esac
+}
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -111,63 +122,76 @@ END {
     cat "$out"
 }
 
-registry_times=${BENCH_TIMES:-1x 3x}
-for bt in $registry_times; do
-    run_suite . "${BENCH_PATTERN:-BenchmarkRegistry}" "$bt"
-done
-emit_json BENCH_engine.json
-
-: > "$tmp"
-run_suite ./internal/sim "${BENCH_SIM_PATTERN:-BenchmarkSim}" "${BENCH_SIM_TIME:-100x}"
-emit_json BENCH_sim.json
-
-: > "$tmp"
-run_suite ./internal/workload/contend "${BENCH_CONTEND_PATTERN:-BenchmarkContend}" "${BENCH_CONTEND_TIME:-20x}"
-emit_json BENCH_contend.json
-
-echo "== serve load benchmark =="
-# Pinned protocol so rows compare across commits: power-law trace over
-# all registry targets, seed 1, 8 closed-loop workers, text+json mix.
-# The disk cache is pre-warmed with a CLI pass so the measurement covers
-# serving + rendering, not simulator runtime; the render cache starts
-# cold, so the cold bucket is the first render per (target, format) key
-# and the warm bucket is render-cache hits.
-servedir=$(mktemp -d)
-serve_pid=""
-cleanup_serve() {
-    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
-    rm -rf "$servedir"
-    rm -f "$tmp"
-}
-trap cleanup_serve EXIT
-
-go build -o "$servedir/mergescale" ./cmd/mergescale
-"$servedir/mergescale" -quick -cachedir "$servedir/cache" run all > /dev/null
-"$servedir/mergescale" -quick -cachedir "$servedir/cache" serve -addr 127.0.0.1:0 \
-    2> "$servedir/serve.log" &
-serve_pid=$!
-addr=""
-i=0
-while [ $i -lt 100 ]; do
-    addr=$(sed -n 's#.*serving on http://##p' "$servedir/serve.log")
-    [ -n "$addr" ] && break
-    sleep 0.1
-    i=$((i + 1))
-done
-if [ -z "$addr" ]; then
-    echo "bench.sh: serve did not come up:" >&2
-    cat "$servedir/serve.log" >&2
-    exit 1
+if want_suite engine; then
+    registry_times=${BENCH_TIMES:-1x 3x}
+    for bt in $registry_times; do
+        run_suite . "${BENCH_PATTERN:-BenchmarkRegistry}" "$bt"
+    done
+    emit_json BENCH_engine.json
 fi
-"$servedir/mergescale" load -url "http://$addr" \
-    -profile powerlaw -seed 1 -alpha 1.5 \
-    -formats text,json \
-    -concurrency "${BENCH_SERVE_CONCURRENCY:-8}" \
-    -requests "${BENCH_SERVE_REQUESTS:-400}" \
-    -out BENCH_serve.json
-kill "$serve_pid"
-wait "$serve_pid" 2>/dev/null || true
-serve_pid=""
 
-echo "wrote BENCH_serve.json:"
-cat BENCH_serve.json
+if want_suite sim; then
+    # The sim suite includes the serial-vs-parallel pairs: each
+    # BenchmarkSimRun<W>256 row has a ...256Par4 twin running the same
+    # program through RunParallel at 4 workers. Same-hardware pairs are
+    # the tracked intra-run speedup; on 1-CPU containers the Par4 rows
+    # measure rendezvous overhead instead.
+    : > "$tmp"
+    run_suite ./internal/sim "${BENCH_SIM_PATTERN:-BenchmarkSim}" "${BENCH_SIM_TIME:-100x}"
+    emit_json BENCH_sim.json
+fi
+
+if want_suite contend; then
+    : > "$tmp"
+    run_suite ./internal/workload/contend "${BENCH_CONTEND_PATTERN:-BenchmarkContend}" "${BENCH_CONTEND_TIME:-20x}"
+    emit_json BENCH_contend.json
+fi
+
+if want_suite serve; then
+    echo "== serve load benchmark =="
+    # Pinned protocol so rows compare across commits: power-law trace over
+    # all registry targets, seed 1, 8 closed-loop workers, text+json mix.
+    # The disk cache is pre-warmed with a CLI pass so the measurement covers
+    # serving + rendering, not simulator runtime; the render cache starts
+    # cold, so the cold bucket is the first render per (target, format) key
+    # and the warm bucket is render-cache hits.
+    servedir=$(mktemp -d)
+    serve_pid=""
+    cleanup_serve() {
+        [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
+        rm -rf "$servedir"
+        rm -f "$tmp"
+    }
+    trap cleanup_serve EXIT
+
+    go build -o "$servedir/mergescale" ./cmd/mergescale
+    "$servedir/mergescale" -quick -cachedir "$servedir/cache" run all > /dev/null
+    "$servedir/mergescale" -quick -cachedir "$servedir/cache" serve -addr 127.0.0.1:0 \
+        2> "$servedir/serve.log" &
+    serve_pid=$!
+    addr=""
+    i=0
+    while [ $i -lt 100 ]; do
+        addr=$(sed -n 's#.*serving on http://##p' "$servedir/serve.log")
+        [ -n "$addr" ] && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if [ -z "$addr" ]; then
+        echo "bench.sh: serve did not come up:" >&2
+        cat "$servedir/serve.log" >&2
+        exit 1
+    fi
+    "$servedir/mergescale" load -url "http://$addr" \
+        -profile powerlaw -seed 1 -alpha 1.5 \
+        -formats text,json \
+        -concurrency "${BENCH_SERVE_CONCURRENCY:-8}" \
+        -requests "${BENCH_SERVE_REQUESTS:-400}" \
+        -out BENCH_serve.json
+    kill "$serve_pid"
+    wait "$serve_pid" 2>/dev/null || true
+    serve_pid=""
+
+    echo "wrote BENCH_serve.json:"
+    cat BENCH_serve.json
+fi
