@@ -38,6 +38,8 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 		alpha       = fs.Float64("alpha", 1.5, "power-law skew for -profile powerlaw (Zipf s, must be > 1)")
 		burstSize   = fs.Int("burstsize", 0, "requests per wave for -profile burst (0 = concurrency)")
 		burstGap    = fs.Duration("burstgap", 100*time.Millisecond, "idle gap between waves for -profile burst")
+		rate        = fs.Float64("rate", 0, "open-loop arrival rate in req/s: issue at fixed intervals regardless of completions (0 = closed-loop; incompatible with -profile burst)")
+		sweepGridF  = fs.String("sweepgrid", "", "JSON grid file enabling the \"sweep\" target (POST /sweep); appended to discovered targets when -targets is empty")
 		outPath     = fs.String("out", "", "write the JSON report to FILE instead of stdout")
 		sloWarmP99  = fs.Duration("slo-warm-p99", 0, "fail (exit 4) when warm p99 latency exceeds this budget (0 disables)")
 	)
@@ -66,6 +68,19 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 	if *requests > 0 && *runFor > 0 {
 		fmt.Fprintln(stderr, "mergescale load: -requests and -for are mutually exclusive")
 		return 2
+	}
+	if *rate < 0 {
+		fmt.Fprintf(stderr, "mergescale load: -rate must be >= 0 (got %g)\n", *rate)
+		return 2
+	}
+	var sweepGrid []byte
+	if *sweepGridF != "" {
+		g, err := os.ReadFile(*sweepGridF)
+		if err != nil {
+			fmt.Fprintf(stderr, "mergescale load: %v\n", err)
+			return 1
+		}
+		sweepGrid = g
 	}
 
 	var targets []string
@@ -101,6 +116,8 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 		Alpha:       *alpha,
 		BurstSize:   *burstSize,
 		BurstGap:    *burstGap,
+		Rate:        *rate,
+		SweepGrid:   sweepGrid,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "mergescale load: %v\n", err)

@@ -5,13 +5,18 @@
 //	mergescale -list
 //	mergescale [-quick] [-format F] [-stream] [-out FILE] [-duration]
 //	           [-workers N] [-simworkers N] [-cachedir DIR] [-cachettl D]
-//	           [-nocache] [-stats] run <experiment-id>|all
+//	           [-pinfile FILE] [-nocache] [-stats] run <experiment-id>|all
 //	mergescale [-quick] [-duration] [-workers N] [-cachedir DIR]
-//	           [-cachettl D] [-nocache] serve [-addr HOST:PORT]
-//	           [-ratelimit N] [-rateburst N] [-maxstreams N]
+//	           [-cachettl D] [-pinfile FILE] [-nocache] serve
+//	           [-addr HOST:PORT] [-ratelimit N] [-rateburst N]
+//	           [-maxstreams N]
+//	mergescale sweep [-grid FILE|-] [-format F] [-out FILE] [-workers N]
+//	           [-cachedir DIR] [-cachettl D] [-nocache] [-pinfile FILE]
+//	           [-stats] [-timing]
 //	mergescale load -url URL [-profile P] [-targets IDS] [-formats F]
-//	           [-concurrency N] [-requests N | -for D] [-seed N] [-alpha A]
-//	           [-burstsize N] [-burstgap D] [-out FILE]
+//	           [-concurrency N] [-requests N | -for D] [-rate R] [-seed N]
+//	           [-alpha A] [-burstsize N] [-burstgap D] [-sweepgrid FILE]
+//	           [-out FILE]
 //
 // Experiment ids follow the paper's artifact numbering (table1..table4,
 // fig2a..fig7) plus the abl-* ablations; see DESIGN.md for the index.
@@ -43,6 +48,13 @@
 // -ratelimit/-rateburst/-maxstreams (all off by default) arm per-client
 // admission control; GET /metrics exposes Prometheus text-format
 // counters. See docs/ARCHITECTURE.md "Serving" and "Serving under load".
+//
+// The sweep subcommand evaluates a parametric design-space grid (a JSON
+// description of apps × budgets × r values — the exact POST /sweep
+// request body) and streams the rendered tables element-granularly: each
+// grid point is one engine job under a canonical normalized key, and its
+// table row flushes the moment the job resolves. The bytes are identical
+// to the POST /sweep response for the same grid and format.
 //
 // The load subcommand is the trace-driven load harness (internal/load):
 // it replays a deterministic request trace (uniform, power-law, or burst)
@@ -93,11 +105,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		simwork  = fs.Int("simworkers", 1, "intra-run simulator worker goroutines (1 = serial reference; results are bit-identical at any setting)")
 		cachedir = fs.String("cachedir", "", "persist engine results to this directory across runs")
 		cachettl = fs.Duration("cachettl", 0, "expire disk-cache entries older than this (0 = never)")
+		pinfile  = fs.String("pinfile", "", "persist the disk cache's pin set to this file across restarts (requires -cachedir)")
 		nocache  = fs.Bool("nocache", false, "disable the engine result cache (memory and disk)")
 		stats    = fs.Bool("stats", false, "print engine cache/worker statistics to stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mergescale [-quick] [-format F] [-stream] [-out FILE] [-duration] [-workers N] [-simworkers N] [-cachedir DIR] [-cachettl D] [-nocache] [-stats] run <id>|all\n       mergescale [-quick] [-duration] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] serve [-addr HOST:PORT] [-ratelimit N] [-rateburst N] [-maxstreams N]\n       mergescale load -url URL [-profile uniform|powerlaw|burst] [-targets IDS] [-formats F] [-concurrency N] [-requests N | -for D] [-seed N] [-alpha A] [-out FILE]\n       mergescale -list\n")
+		fmt.Fprintf(stderr, "usage: mergescale [-quick] [-format F] [-stream] [-out FILE] [-duration] [-workers N] [-simworkers N] [-cachedir DIR] [-cachettl D] [-pinfile FILE] [-nocache] [-stats] run <id>|all\n       mergescale [-quick] [-duration] [-workers N] [-cachedir DIR] [-cachettl D] [-pinfile FILE] [-nocache] serve [-addr HOST:PORT] [-ratelimit N] [-rateburst N] [-maxstreams N]\n       mergescale sweep [-grid FILE|-] [-format F] [-out FILE] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] [-pinfile FILE] [-stats] [-timing]\n       mergescale load -url URL [-profile uniform|powerlaw|burst] [-targets IDS] [-formats F] [-concurrency N] [-requests N | -for D] [-rate R] [-seed N] [-alpha A] [-out FILE]\n       mergescale -list\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -121,6 +134,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *cachettl < 0 {
 		fmt.Fprintf(stderr, "mergescale: -cachettl must be >= 0 (got %s)\n", *cachettl)
+		return 2
+	}
+	if *pinfile != "" && *cachedir == "" {
+		fmt.Fprintf(stderr, "mergescale: -pinfile requires -cachedir (pins index disk-cache entries)\n")
 		return 2
 	}
 
@@ -148,6 +165,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return runLoad(rest[1:], stdout, stderr)
 	}
+	if len(rest) >= 1 && rest[0] == "sweep" {
+		// sweep owns its whole flag surface (it re-declares the cache and
+		// rendering flags it honors), so a global flag before the
+		// subcommand is a mistake, same as load.
+		conflict := ""
+		fs.Visit(func(f *flag.Flag) {
+			if conflict == "" {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(stderr, "mergescale: -%s does not apply to sweep (see mergescale sweep -h)\n", conflict)
+			return 2
+		}
+		return runSweep(rest[1:], stdout, stderr)
+	}
 	if len(rest) >= 1 && rest[0] == "serve" {
 		// The rendering flags are per-request (format) or meaningless for a
 		// long-running server (stream, out, csv, stats); silently ignoring
@@ -171,6 +204,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			workers:  *workers,
 			cachedir: *cachedir,
 			cachettl: *cachettl,
+			pinfile:  *pinfile,
 			nocache:  *nocache,
 		}, stderr)
 	}
@@ -236,7 +270,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := engine.Config{Workers: *workers, DisableCache: *nocache}
 	var store *diskcache.Store
 	if *cachedir != "" && !*nocache {
-		s, err := diskcache.Open(*cachedir, diskcache.Options{TTL: *cachettl})
+		s, err := diskcache.Open(*cachedir, diskcache.Options{TTL: *cachettl, PinFile: *pinfile})
 		if err != nil {
 			// The cache is best-effort: degrade to a cold run.
 			fmt.Fprintf(stderr, "mergescale: disk cache disabled: %v\n", err)
@@ -261,9 +295,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // render drives the experiment pipeline into renderer, either streaming
-// (each document the moment its engine job resolves, released in registry
-// order) or buffered (after the whole run). Both paths emit exactly the
-// same bytes; only the latency differs.
+// (element-granular: table rows flush the moment their engine sub-jobs
+// resolve, released in registry order) or buffered (after the whole run).
+// Both paths emit exactly the same bytes; only the latency differs.
 func render(ctx context.Context, eng *engine.Engine, targets []experiments.Experiment,
 	opt experiments.Options, renderer report.Renderer, stream bool, stderr io.Writer) int {
 	if err := renderer.Begin(); err != nil {
@@ -281,7 +315,7 @@ func render(ctx context.Context, eng *engine.Engine, targets []experiments.Exper
 	}
 	var runErr error
 	if stream {
-		runErr = experiments.Stream(ctx, eng, targets, opt, emit)
+		runErr = experiments.StreamElements(ctx, eng, targets, opt, renderer.Element)
 	} else {
 		for _, o := range experiments.RunAll(ctx, eng, targets, opt) {
 			if runErr = emit(o); runErr != nil {
@@ -308,6 +342,7 @@ type serveConfig struct {
 	workers  int
 	cachedir string
 	cachettl time.Duration
+	pinfile  string
 	nocache  bool
 }
 
@@ -341,7 +376,7 @@ func runServe(args []string, cfg serveConfig, stderr io.Writer) int {
 	engCfg := engine.Config{Workers: cfg.workers, DisableCache: cfg.nocache}
 	var store *diskcache.Store
 	if cfg.cachedir != "" && !cfg.nocache {
-		s, err := diskcache.Open(cfg.cachedir, diskcache.Options{TTL: cfg.cachettl})
+		s, err := diskcache.Open(cfg.cachedir, diskcache.Options{TTL: cfg.cachettl, PinFile: cfg.pinfile})
 		if err != nil {
 			fmt.Fprintf(stderr, "mergescale: disk cache disabled: %v\n", err)
 		} else {

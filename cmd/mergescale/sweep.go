@@ -1,0 +1,186 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mergescale/internal/engine"
+	"mergescale/internal/engine/diskcache"
+	"mergescale/internal/experiments"
+	"mergescale/internal/report"
+)
+
+// runSweep implements the sweep subcommand: evaluate a parametric
+// design-space grid read as JSON (the exact POST /sweep request format —
+// the same experiments.SweepRequest struct decodes both, so the CLI and
+// the endpoint can never drift) and stream the rendered table to stdout.
+// The output is byte-identical to the POST /sweep body for the same grid
+// and format, and a -cachedir shared with a server shares the per-point
+// cache entries, because both sides normalize the grid into the same
+// canonical engine keys.
+//
+// -timing prints time-to-first-row and total wall time to stderr (never
+// stdout, so it cannot perturb the rendered bytes); scripts/bench.sh
+// reads those lines to report how much of a cold sweep's latency the
+// element-granular stream hides.
+func runSweep(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mergescale sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		gridPath = fs.String("grid", "-", "JSON grid file (apps × budgets × rs); - reads stdin")
+		format   = fs.String("format", "text", "output format: text | markdown | json | csv")
+		outPath  = fs.String("out", "", "write rendered output to this file instead of stdout")
+		workers  = fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial)")
+		cachedir = fs.String("cachedir", "", "persist per-point results to this directory across runs")
+		cachettl = fs.Duration("cachettl", 0, "expire disk-cache entries older than this (0 = never)")
+		nocache  = fs.Bool("nocache", false, "disable the engine result cache (memory and disk)")
+		pinfile  = fs.String("pinfile", "", "persist the disk cache's pin set to this file (requires -cachedir)")
+		stats    = fs.Bool("stats", false, "print engine cache/worker statistics to stderr")
+		timing   = fs.Bool("timing", false, "print time-to-first-row and total wall time to stderr")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mergescale sweep [-grid FILE|-] [-format F] [-out FILE] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] [-pinfile FILE] [-stats] [-timing]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "mergescale sweep: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "mergescale sweep: -workers must be >= 0 (got %d)\n", *workers)
+		return 2
+	}
+	if *cachettl < 0 {
+		fmt.Fprintf(stderr, "mergescale sweep: -cachettl must be >= 0 (got %s)\n", *cachettl)
+		return 2
+	}
+	if *pinfile != "" && *cachedir == "" {
+		fmt.Fprintf(stderr, "mergescale sweep: -pinfile requires -cachedir (pins index disk-cache entries)\n")
+		return 2
+	}
+
+	// Decode and normalize before opening any output or cache: a bad grid
+	// must not truncate a previous report file or touch the engine, exactly
+	// as a bad POST /sweep body never creates a job.
+	var gridSrc io.Reader = os.Stdin
+	if *gridPath != "-" {
+		f, err := os.Open(*gridPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "mergescale sweep: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		gridSrc = f
+	}
+	req, err := experiments.ParseSweepRequest(io.LimitReader(gridSrc, experiments.MaxSweepBody))
+	if err != nil {
+		fmt.Fprintf(stderr, "mergescale sweep: %v\n", err)
+		return 2
+	}
+	plan, err := req.Normalize()
+	if err != nil {
+		fmt.Fprintf(stderr, "mergescale sweep: %v\n", err)
+		return 2
+	}
+
+	out := io.Writer(stdout)
+	var outFile *os.File
+	if *outPath != "" {
+		if _, err := report.NewRenderer(*format, io.Discard); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "mergescale sweep: %v\n", err)
+			return 1
+		}
+		outFile = f
+		out = f
+	}
+	renderer, err := report.NewRenderer(*format, out)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := engine.Config{Workers: *workers, DisableCache: *nocache}
+	var store *diskcache.Store
+	if *cachedir != "" && !*nocache {
+		s, err := diskcache.Open(*cachedir, diskcache.Options{TTL: *cachettl, PinFile: *pinfile})
+		if err != nil {
+			fmt.Fprintf(stderr, "mergescale sweep: disk cache disabled: %v\n", err)
+		} else {
+			store = s
+			cfg.Store = s
+		}
+	}
+	eng := engine.New(cfg)
+
+	// Pin before the run, matching the server: Pin covers present and
+	// future entries, so the outcome is the same however the race with the
+	// engine's Put falls.
+	if plan.Pin && store != nil {
+		for _, key := range plan.Keys() {
+			store.Pin(key)
+		}
+	}
+
+	start := time.Now()
+	var firstRow time.Duration
+	rows := 0
+	code := 0
+	runErr := renderer.Begin()
+	if runErr == nil {
+		_, runErr = plan.Run(ctx, experiments.Options{Engine: eng, Emit: func(el report.Element) error {
+			if el.Kind == report.ElemRow {
+				if rows == 0 {
+					firstRow = time.Since(start)
+				}
+				rows++
+			}
+			return renderer.Element(el)
+		}})
+	}
+	if runErr == nil {
+		runErr = renderer.End()
+	}
+	if runErr != nil {
+		fmt.Fprintf(stderr, "mergescale sweep: %v\n", runErr)
+		code = 1
+	}
+	total := time.Since(start)
+
+	if outFile != nil {
+		if err := outFile.Close(); err != nil && code == 0 {
+			fmt.Fprintf(stderr, "mergescale sweep: %v\n", err)
+			code = 1
+		}
+	}
+	if *timing && code == 0 {
+		// One machine-readable line: bench.sh splits on '=' to build the
+		// cold/warm first-row/total rows of BENCH_sweep.json.
+		fmt.Fprintf(stderr, "mergescale sweep: points=%d rows=%d first-row=%.6fs total=%.6fs\n",
+			plan.Points(), rows, firstRow.Seconds(), total.Seconds())
+	}
+	if *stats {
+		printStats(stderr, eng, store)
+	}
+	return code
+}

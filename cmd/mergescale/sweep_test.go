@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testSweepGrid = `{"apps":[{"f":0.975,"fcon":0.1,"fored":0.2},{"f":0.9}],"budgets":[64,256],"rs":[1,2,4,8,16]}`
+
+// writeGrid writes a grid JSON to a temp file and returns its path.
+func writeGrid(t *testing.T, grid string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := os.WriteFile(path, []byte(grid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSweepRendersGrid: the subcommand renders a grid file to stdout with
+// one table per (app, budget) group and deterministic bytes across
+// worker counts.
+func TestSweepRendersGrid(t *testing.T) {
+	grid := writeGrid(t, testSweepGrid)
+	var serial, parallel, errOut bytes.Buffer
+	if code := run([]string{"sweep", "-grid", grid, "-workers", "1"}, &serial, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"sweep", "-grid", grid, "-workers", "8"}, &parallel, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if serial.Len() == 0 {
+		t.Fatal("sweep rendered nothing")
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatal("sweep output differs across worker counts")
+	}
+	for _, want := range []string{"Design-space sweep", "N=64", "N=256", "peak"} {
+		if !strings.Contains(serial.String(), want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}
+
+// TestSweepBadGridFails: a malformed grid is a usage error (exit 2) with
+// a one-line reason, and -out is never touched.
+func TestSweepBadGridFails(t *testing.T) {
+	grid := writeGrid(t, `{"apps":[],"budgets":[64]}`)
+	out := filepath.Join(t.TempDir(), "report.txt")
+	if err := os.WriteFile(out, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, errOut bytes.Buffer
+	if code := run([]string{"sweep", "-grid", grid, "-out", out}, &stdout, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr %q)", code, errOut.String())
+	}
+	if data, err := os.ReadFile(out); err != nil || string(data) != "precious" {
+		t.Fatalf("bad grid clobbered -out file: %q, %v", data, err)
+	}
+}
+
+// TestSweepTimingGoesToStderr: -timing reports first-row and total wall
+// time on stderr only, leaving stdout bytes untouched.
+func TestSweepTimingGoesToStderr(t *testing.T) {
+	grid := writeGrid(t, testSweepGrid)
+	var plain, timed, errOut bytes.Buffer
+	if code := run([]string{"sweep", "-grid", grid}, &plain, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"sweep", "-grid", grid, "-timing"}, &timed, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !bytes.Equal(plain.Bytes(), timed.Bytes()) {
+		t.Fatal("-timing changed stdout bytes")
+	}
+	msg := errOut.String()
+	for _, want := range []string{"points=20", "rows=20", "first-row=", "total="} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("timing line %q lacks %q", msg, want)
+		}
+	}
+}
+
+// TestSweepWarmDiskCache: a second run against the same cache dir replays
+// every point from disk (0 executed) with identical bytes.
+func TestSweepWarmDiskCache(t *testing.T) {
+	grid := writeGrid(t, testSweepGrid)
+	dir := t.TempDir()
+	var cold, warm, errOut bytes.Buffer
+	if code := run([]string{"sweep", "-grid", grid, "-cachedir", dir}, &cold, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"sweep", "-grid", grid, "-cachedir", dir, "-stats"}, &warm, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Fatal("warm sweep rendered different bytes")
+	}
+	if !strings.Contains(errOut.String(), "0 executed") {
+		t.Fatalf("warm sweep executed jobs: %s", errOut.String())
+	}
+}
+
+// TestSweepRejectsGlobalFlags: like load, sweep owns its flag surface —
+// a global flag before the subcommand is refused, not silently ignored.
+func TestSweepRejectsGlobalFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-quick", "sweep"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "does not apply to sweep") {
+		t.Fatalf("unexpected stderr: %s", errOut.String())
+	}
+}
+
+// TestSweepPinfileRequiresCachedir: a pin file without a disk cache has
+// nothing to index.
+func TestSweepPinfileRequiresCachedir(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"sweep", "-grid", "x", "-pinfile", "p"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"-pinfile", "p", "run", "fig4"}, &out, &errOut); code != 2 {
+		t.Fatalf("global -pinfile without -cachedir: exit %d, want 2", code)
+	}
+}

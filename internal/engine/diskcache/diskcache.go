@@ -86,6 +86,15 @@ type Options struct {
 	// default) never expires. Expired entries read as misses and are
 	// unlinked so the slot self-heals on the next Put.
 	TTL time.Duration
+	// PinFile, when non-empty, makes the pin set survive restarts: Open
+	// re-pins every key listed in the file, and Pin/Unpin rewrite it
+	// atomically (temp+rename, keys sorted, one key per line; blank lines
+	// and lines starting with '#' are ignored). Keys containing a newline
+	// cannot be represented and are pinned in memory only — engine keys
+	// (16 hex digits) are always representable. The file lives wherever
+	// the path points, typically next to the cache directory, so several
+	// stores may share a directory while keeping distinct pin sets.
+	PinFile string
 }
 
 // Stats counts store traffic since Open. Lookup hit/miss counts live in
@@ -115,6 +124,8 @@ type Store struct {
 	mu      sync.Mutex
 	entries map[string]entry // file name -> info
 	pinned  map[string]bool  // file names exempt from LRU eviction
+	pinKeys map[string]bool  // original key strings, for pin-file rewrite
+	pinFile string           // "" = pin set is process-local
 	total   int64
 	stats   Stats
 }
@@ -129,7 +140,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	if max <= 0 {
 		max = DefaultMaxBytes
 	}
-	s := &Store{dir: dir, max: max, ttl: opts.TTL, entries: map[string]entry{}, pinned: map[string]bool{}}
+	s := &Store{dir: dir, max: max, ttl: opts.TTL, entries: map[string]entry{},
+		pinned: map[string]bool{}, pinKeys: map[string]bool{}, pinFile: opts.PinFile}
+	if err := s.loadPinFile(); err != nil {
+		return nil, err
+	}
 	des, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("diskcache: %w", err)
@@ -241,17 +256,101 @@ func (s *Store) drop(name string, counter *uint64) {
 // count toward the byte cap (many pins can hold the store above it, which
 // only more Puts of pinned keys can worsen) and still expire under TTL:
 // expiry reads as a miss whose recomputation rewrites the slot in place.
+// With a pin file configured (Options.PinFile), the pin additionally
+// persists: the named file is rewritten so the key is re-pinned by the
+// next Open, making pinned working sets restart-surviving.
 func (s *Store) Pin(key string) {
 	s.mu.Lock()
 	s.pinned[fileName(key)] = true
+	changed := !s.pinKeys[key]
+	s.pinKeys[key] = true
+	if changed {
+		s.savePinFileLocked()
+	}
 	s.mu.Unlock()
 }
 
-// Unpin makes key's entry an ordinary LRU citizen again.
+// Unpin makes key's entry an ordinary LRU citizen again (and removes it
+// from the pin file, when one is configured).
 func (s *Store) Unpin(key string) {
 	s.mu.Lock()
 	delete(s.pinned, fileName(key))
+	changed := s.pinKeys[key]
+	delete(s.pinKeys, key)
+	if changed {
+		s.savePinFileLocked()
+	}
 	s.mu.Unlock()
+}
+
+// loadPinFile re-pins every key recorded by a previous process. A missing
+// file is a fresh start, not an error; an unreadable one fails Open
+// loudly — silently dropping a pin set would defeat its purpose.
+func (s *Store) loadPinFile() error {
+	if s.pinFile == "" {
+		return nil
+	}
+	data, err := os.ReadFile(s.pinFile)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("diskcache: pin file: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		key := strings.TrimSpace(line)
+		if key == "" || strings.HasPrefix(key, "#") {
+			continue
+		}
+		s.pinKeys[key] = true
+		s.pinned[fileName(key)] = true
+	}
+	return nil
+}
+
+// savePinFileLocked rewrites the pin file from the current key set:
+// sorted for deterministic bytes, written to a temp file and renamed into
+// place so a crash never leaves a torn pin set. Like Put, persistence is
+// best-effort — an I/O failure keeps the in-memory pin and is counted as
+// a PutSkip. Keys containing a newline cannot be represented line-wise
+// and stay process-local.
+func (s *Store) savePinFileLocked() {
+	if s.pinFile == "" {
+		return
+	}
+	keys := make([]string, 0, len(s.pinKeys))
+	for k := range s.pinKeys {
+		if !strings.Contains(k, "\n") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteString("# mergescale disk-cache pin set: one engine key per line.\n")
+	for _, k := range keys {
+		buf.WriteString(k)
+		buf.WriteByte('\n')
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(s.pinFile), "pins-*"+tmpSuffix)
+	if err != nil {
+		s.stats.PutSkips++
+		return
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		_ = os.Remove(tmp.Name())
+		s.stats.PutSkips++
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		s.stats.PutSkips++
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.pinFile); err != nil {
+		_ = os.Remove(tmp.Name())
+		s.stats.PutSkips++
+	}
 }
 
 // Pinned reports whether key is currently pinned.

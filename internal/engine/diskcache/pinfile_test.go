@@ -1,0 +1,140 @@
+package diskcache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// pinPath returns a pin-file path inside its own directory, so tests can
+// mix stores with and without persistence over the same cache dir.
+func pinPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "pins.txt")
+}
+
+// TestPinFileSurvivesReopen: pins recorded through a pin file re-apply on
+// the next Open — including pins taken before the entry existed, which
+// must shield the entry Put later by the new process.
+func TestPinFileSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	pf := pinPath(t)
+	s := open(t, dir, Options{PinFile: pf})
+	s.Put("present", testVal{N: 1})
+	s.Pin("present")
+	s.Pin("future") // no entry yet; the pin must still persist
+
+	r := open(t, dir, Options{PinFile: pf})
+	if !r.Pinned("present") || !r.Pinned("future") {
+		t.Fatalf("reopened store lost pins: present=%v future=%v", r.Pinned("present"), r.Pinned("future"))
+	}
+	// The "future" pin protects an entry written by the new process.
+	r.Put("future", testVal{N: 2})
+	if _, ok := r.Get("future"); !ok {
+		t.Fatal("pinned-then-put entry missing")
+	}
+}
+
+// TestUnpinRewritesPinFile: Unpin removes the key durably — a reopen must
+// not resurrect it.
+func TestUnpinRewritesPinFile(t *testing.T) {
+	dir := t.TempDir()
+	pf := pinPath(t)
+	s := open(t, dir, Options{PinFile: pf})
+	s.Pin("a")
+	s.Pin("b")
+	s.Unpin("a")
+
+	r := open(t, dir, Options{PinFile: pf})
+	if r.Pinned("a") {
+		t.Fatal("unpinned key resurrected by reopen")
+	}
+	if !r.Pinned("b") {
+		t.Fatal("unrelated pin lost by Unpin rewrite")
+	}
+}
+
+// TestPinFileFormat: the file is line-oriented, sorted, and commented —
+// hand-editable — and the loader skips comments and blank lines.
+func TestPinFileFormat(t *testing.T) {
+	dir := t.TempDir()
+	pf := pinPath(t)
+	s := open(t, dir, Options{PinFile: pf})
+	s.Pin("zebra")
+	s.Pin("apple")
+
+	data, err := os.ReadFile(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "# mergescale disk-cache pin set: one engine key per line.\napple\nzebra\n"
+	if string(data) != want {
+		t.Fatalf("pin file = %q, want %q", data, want)
+	}
+
+	// A hand-written file with comments, blanks and whitespace loads.
+	hand := "# my pins\n\n  spaced-key  \n# trailing comment\nplain\n"
+	if err := os.WriteFile(pf, []byte(hand), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := open(t, dir, Options{PinFile: pf})
+	if !r.Pinned("spaced-key") || !r.Pinned("plain") {
+		t.Fatal("hand-edited pin file not honored")
+	}
+	if r.Pinned("# my pins") {
+		t.Fatal("comment line treated as a key")
+	}
+}
+
+// TestPinFileNewlineKeysStayLocal: a key containing a newline cannot be
+// one line of the file; it pins in-process but is excluded from the file
+// rather than corrupting it.
+func TestPinFileNewlineKeysStayLocal(t *testing.T) {
+	dir := t.TempDir()
+	pf := pinPath(t)
+	s := open(t, dir, Options{PinFile: pf})
+	s.Pin("evil\nkey")
+	s.Pin("good")
+	if !s.Pinned("evil\nkey") {
+		t.Fatal("newline key not pinned in-process")
+	}
+	data, err := os.ReadFile(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "evil") {
+		t.Fatalf("newline key leaked into the pin file: %q", data)
+	}
+	r := open(t, dir, Options{PinFile: pf})
+	if r.Pinned("evil\nkey") {
+		t.Fatal("newline key persisted despite being unrepresentable")
+	}
+	if !r.Pinned("good") {
+		t.Fatal("representable key lost")
+	}
+}
+
+// TestPinFileUnreadableFailsOpen: an existing-but-unreadable pin file
+// fails Open loudly — silently dropping a pin set would defeat it.
+func TestPinFileUnreadableFailsOpen(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: permission bits are not enforced")
+	}
+	dir := t.TempDir()
+	pf := pinPath(t)
+	if err := os.WriteFile(pf, []byte("key\n"), 0o000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{PinFile: pf}); err == nil {
+		t.Fatal("Open succeeded with an unreadable pin file")
+	}
+}
+
+// TestPinFileMissingIsFreshStart: no file, no error, no pins.
+func TestPinFileMissingIsFreshStart(t *testing.T) {
+	s := open(t, t.TempDir(), Options{PinFile: pinPath(t)})
+	if s.Pinned("anything") {
+		t.Fatal("fresh store reports pins")
+	}
+}

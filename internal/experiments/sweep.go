@@ -1,0 +1,453 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"mergescale/internal/core"
+	"mergescale/internal/engine"
+	"mergescale/internal/report"
+)
+
+// This file implements design-space-as-a-service: a client-supplied
+// parameter grid (model params × BCE budget × r-grid) normalized into a
+// canonical SweepPlan whose points are individual engine jobs. The same
+// struct backs POST /sweep and the `mergescale sweep` CLI subcommand, so
+// both fronts validate, execute, cache and render identically —
+// byte-identical output for the same grid, however it arrives.
+//
+// Normalization is the caching contract: apps, budgets and the r-grid are
+// sorted and deduplicated, app names are derived from the parameters
+// (client-chosen labels never reach a key), and each grid point's engine
+// key is built from the canonical values only. Two requests describing
+// the same design space in different order therefore resolve to the same
+// point keys — the second one replays from the engine's memory/disk cache
+// without executing a single job — and to the same plan fingerprint, so
+// the server's render cache can serve the second request's bytes whole.
+//
+// Unlike the batched internal sweeps (see the granularity note in
+// core/sweep_parallel.go), /sweep submits one job per grid point on
+// purpose: the point is the streaming unit. Each resolved point releases
+// one table row through the element-granular release buffer, so the first
+// row of a cold 64-point sweep reaches the client while later points are
+// still computing.
+
+// Request caps: a sweep is user-supplied work, so its size is bounded
+// before any job is created. The limits are generous for real design
+// spaces (the paper's grids are tens of points) while keeping a single
+// request from monopolizing the engine.
+const (
+	// MaxSweepPoints caps the total evaluated grid points per request.
+	MaxSweepPoints = 4096
+	// MaxSweepBudget caps the BCE budget (and with r >= 1 the core count).
+	MaxSweepBudget = 1 << 20
+	// MaxSweepBody caps the request body in bytes.
+	MaxSweepBody = 1 << 20
+)
+
+// SweepApp is one application parameterization in a sweep request. Growth
+// defaults to "linear" (the paper's extended model); any name accepted by
+// core.ParseGrowth works. Apps carry no client-visible label on purpose:
+// canonical labels are derived from the parameters so that equivalent
+// requests share cache entries.
+type SweepApp struct {
+	F      float64 `json:"f"`
+	FCon   float64 `json:"fcon"`
+	FOred  float64 `json:"fored"`
+	Growth string  `json:"growth,omitempty"`
+}
+
+// SweepRequest is the wire form of a parametric design-space sweep,
+// shared verbatim by POST /sweep (JSON body) and `mergescale sweep -grid`
+// (JSON file). Rs may be empty: each budget then sweeps its full
+// power-of-two grid {1,2,...,N}. Pin asks the server to pin the evaluated
+// point keys in the disk cache so they survive eviction (and restarts,
+// when the store has a pin file).
+type SweepRequest struct {
+	Apps    []SweepApp `json:"apps"`
+	Budgets []int      `json:"budgets"`
+	Rs      []float64  `json:"rs,omitempty"`
+	Pin     bool       `json:"pin,omitempty"`
+}
+
+// ParseSweepRequest decodes one JSON-encoded SweepRequest. Unknown fields
+// and trailing garbage are rejected, so a typo'd grid fails loudly
+// instead of sweeping the wrong space. The reader should already be
+// length-capped (MaxSweepBody) by the caller.
+func ParseSweepRequest(r io.Reader) (*SweepRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req SweepRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("sweep: bad request body: %v", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("sweep: trailing data after request object")
+	}
+	return &req, nil
+}
+
+// sweepGroup is one (app, budget) pair: one table in the rendered
+// document, covering a contiguous range of plan points.
+type sweepGroup struct {
+	App        core.AppParams
+	Budget     core.Budget
+	Title      string
+	Start, End int // p.points[Start:End]
+}
+
+// sweepPlanPoint is one evaluated design point in plan order.
+type sweepPlanPoint struct {
+	Group int
+	R     float64
+	Key   string // canonical engine key; identical across equivalent requests
+}
+
+// SweepPlan is a validated, normalized sweep: apps, budgets and grids are
+// canonical (sorted, deduplicated, parameter-derived labels), every point
+// has its engine key precomputed, and the total size is under the caps.
+// Plans are immutable after Normalize and safe for concurrent Runs.
+type SweepPlan struct {
+	Apps    []core.AppParams
+	Budgets []core.Budget
+	Rs      []float64 // nil when each budget uses its power-of-two default
+	Pin     bool
+
+	groups []sweepGroup
+	points []sweepPlanPoint
+}
+
+// sweepAppLabel derives the canonical display name from the parameters.
+// The label doubles as the AppParams.Name key component, so it must be a
+// pure function of the values.
+func sweepAppLabel(a core.AppParams) string {
+	return "f=" + fg(a.F) + " fcon=" + fg(a.FCon) + " fored=" + fg(a.FOred) + " " + a.Growth.String()
+}
+
+// fg formats a float the way %#v would inside a key: shortest round-trip.
+func fg(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// finite rejects the float values JSON itself cannot carry but a Go
+// caller sharing the struct could.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Normalize validates the request and produces its canonical plan. Every
+// rejection is a single-line reason suitable for an HTTP 400 body; no
+// engine work happens here, so malformed requests are refused for free.
+func (req *SweepRequest) Normalize() (*SweepPlan, error) {
+	if len(req.Apps) == 0 {
+		return nil, fmt.Errorf("sweep: at least one app required")
+	}
+	if len(req.Budgets) == 0 {
+		return nil, fmt.Errorf("sweep: at least one budget required")
+	}
+
+	apps := make([]core.AppParams, 0, len(req.Apps))
+	for i, a := range req.Apps {
+		if !finite(a.F) || !finite(a.FCon) || !finite(a.FOred) {
+			return nil, fmt.Errorf("sweep: apps[%d]: parameters must be finite (no NaN/Inf)", i)
+		}
+		growth := a.Growth
+		if growth == "" {
+			growth = "linear"
+		}
+		g, err := core.ParseGrowth(growth)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: apps[%d]: %v", i, err)
+		}
+		ap := core.AppParams{F: a.F, FCon: a.FCon, FOred: a.FOred, Growth: g}
+		if err := ap.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: apps[%d]: %v", i, err)
+		}
+		ap.Name = sweepAppLabel(ap)
+		apps = append(apps, ap)
+	}
+	sort.Slice(apps, func(i, j int) bool {
+		a, b := apps[i], apps[j]
+		if a.F != b.F {
+			return a.F < b.F
+		}
+		if a.FCon != b.FCon {
+			return a.FCon < b.FCon
+		}
+		if a.FOred != b.FOred {
+			return a.FOred < b.FOred
+		}
+		return a.Growth < b.Growth
+	})
+	apps = dedupe(apps, func(a, b core.AppParams) bool {
+		return a.F == b.F && a.FCon == b.FCon && a.FOred == b.FOred && a.Growth == b.Growth
+	})
+
+	budgets := make([]core.Budget, 0, len(req.Budgets))
+	for i, n := range req.Budgets {
+		b := core.Budget{N: n}
+		if err := b.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: budgets[%d]: %v", i, err)
+		}
+		if n > MaxSweepBudget {
+			return nil, fmt.Errorf("sweep: budgets[%d]: N = %d exceeds cap %d", i, n, MaxSweepBudget)
+		}
+		budgets = append(budgets, b)
+	}
+	sort.Slice(budgets, func(i, j int) bool { return budgets[i].N < budgets[j].N })
+	budgets = dedupe(budgets, func(a, b core.Budget) bool { return a.N == b.N })
+
+	var rs []float64
+	if len(req.Rs) > 0 {
+		rs = append(rs, req.Rs...)
+		for i, r := range rs {
+			if !finite(r) {
+				return nil, fmt.Errorf("sweep: rs[%d]: grid values must be finite (no NaN/Inf)", i)
+			}
+			if r < 1 {
+				return nil, fmt.Errorf("sweep: rs[%d]: r = %s must be >= 1", i, fg(r))
+			}
+		}
+		sort.Float64s(rs)
+		rs = dedupe(rs, func(a, b float64) bool { return a == b })
+	}
+
+	p := &SweepPlan{Apps: apps, Budgets: budgets, Rs: rs, Pin: req.Pin}
+	for _, app := range apps {
+		for _, b := range budgets {
+			grid := rs
+			if grid == nil {
+				grid = core.PowerOfTwoRs(b.N)
+			}
+			g := sweepGroup{
+				App:    app,
+				Budget: b,
+				Title:  app.Name + " — N=" + strconv.Itoa(b.N),
+				Start:  len(p.points),
+			}
+			for _, r := range grid {
+				if r > float64(b.N) {
+					continue // no valid design under this budget
+				}
+				p.points = append(p.points, sweepPlanPoint{
+					Group: len(p.groups),
+					R:     r,
+					Key:   sweepPointKey(app, b, r),
+				})
+			}
+			g.End = len(p.points)
+			p.groups = append(p.groups, g)
+		}
+	}
+	if len(p.points) == 0 {
+		return nil, fmt.Errorf("sweep: no valid design points (every r exceeds every budget)")
+	}
+	if len(p.points) > MaxSweepPoints {
+		return nil, fmt.Errorf("sweep: %d grid points exceeds cap %d", len(p.points), MaxSweepPoints)
+	}
+	return p, nil
+}
+
+// dedupe removes adjacent duplicates from a sorted slice, in place.
+func dedupe[T any](s []T, eq func(a, b T) bool) []T {
+	out := s[:0]
+	for _, v := range s {
+		if len(out) == 0 || !eq(out[len(out)-1], v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// sweepPointKey builds the canonical engine key of one design point.
+// AppParams.Name participates in AppendKey, which is exactly why names
+// are derived from parameters: equivalent apps hash identically no matter
+// how the client spelled the request.
+func sweepPointKey(app core.AppParams, b core.Budget, r float64) string {
+	w := engine.AcquireKeyWriter()
+	w.WriteString("sweep-point")
+	engine.WriteAppender(w, app)
+	engine.WriteAppender(w, b)
+	w.WriteFloat64(r)
+	return w.SumRelease()
+}
+
+// Points returns the number of design points the plan evaluates.
+func (p *SweepPlan) Points() int { return len(p.points) }
+
+// Keys returns the canonical engine key of every point, for pinning.
+func (p *SweepPlan) Keys() []string {
+	keys := make([]string, len(p.points))
+	for i, pt := range p.points {
+		keys[i] = pt.Key
+	}
+	return keys
+}
+
+// Fingerprint digests the normalized grid. Equivalent requests — same
+// design space, any ordering or duplication — share it, so it keys the
+// server's rendered-response cache: the second spelling of a grid is a
+// whole-body cache hit, not even a re-render.
+func (p *SweepPlan) Fingerprint() string {
+	w := engine.AcquireKeyWriter()
+	w.WriteString("sweep-plan")
+	w.WriteInt(len(p.Apps))
+	for _, a := range p.Apps {
+		engine.WriteAppender(w, a)
+	}
+	w.WriteInt(len(p.Budgets))
+	for _, b := range p.Budgets {
+		engine.WriteAppender(w, b)
+	}
+	w.WriteInt(len(p.Rs))
+	for _, r := range p.Rs {
+		w.WriteFloat64(r)
+	}
+	return w.SumRelease()
+}
+
+// sweepPointStart, when non-nil, is called at the top of every executed
+// point job with the point's plan index. Test-only: the first-byte
+// latency test uses it to hold the final point hostage until the first
+// row has been released, proving rows stream before the sweep completes.
+var sweepPointStart func(i int)
+
+// sweepColumns are the table columns of every sweep group.
+var sweepColumns = []string{"r", "cores", "speedup"}
+
+// evalPoint computes one design point. Pure arithmetic — microseconds —
+// but submitted as its own engine job so each resolved point releases one
+// streamed row and caches under its own canonical key.
+func evalPoint(g sweepGroup, r float64) core.SweepPoint {
+	return core.SweepPoint{R: r, Speedup: core.SpeedupCMP(g.App, core.SymDesign{Budget: g.Budget, R: r})}
+}
+
+// rowOf formats one rendered table row for a resolved point.
+func rowOf(g sweepGroup, pt core.SweepPoint) []string {
+	d := core.SymDesign{Budget: g.Budget, R: pt.R}
+	return []string{fg(pt.R), fg(d.Cores()), f2(pt.Speedup)}
+}
+
+// Run evaluates the plan into a single document, one table per
+// (app, budget) group in canonical order. With opt.Engine set, every
+// point is one engine job and rows release in plan order as their jobs
+// resolve (the first row goes out while later points still compute); a
+// nil engine is the serial reference with identical bytes. With opt.Emit
+// set, elements stream fine-grained through it — the signature matches
+// Experiment.Run, so a plan drops into the same render pipelines.
+func (p *SweepPlan) Run(ctx context.Context, opt Options) (*report.Document, error) {
+	em := report.NewEmitter("sweep", "Design-space sweep", opt.Emit)
+	res := make([]core.SweepPoint, len(p.points))
+
+	if opt.Engine == nil {
+		for i, pt := range p.points {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			g := p.groups[pt.Group]
+			if i == g.Start {
+				em.Table(g.Title, sweepColumns...)
+			}
+			res[i] = evalPoint(g, pt.R)
+			em.Row(rowOf(g, res[i])...)
+		}
+	} else {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		rel := &sweepReleaser{plan: p, em: em, res: res, cancel: cancel}
+		jobs := make([]engine.Job, len(p.points))
+		for i := range p.points {
+			i := i
+			pt := p.points[i]
+			g := p.groups[pt.Group]
+			jobs[i] = engine.Job{
+				ID:  "sweep-point",
+				Key: pt.Key,
+				Fn: func(ctx context.Context) (any, error) {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					if hook := sweepPointStart; hook != nil {
+						hook(i)
+					}
+					return evalPoint(g, pt.R), nil
+				},
+				OnDone: func(r engine.Result) { rel.done(i, r) },
+			}
+		}
+		opt.Engine.Run(ctx, jobs)
+		if err := rel.err(); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, g := range p.groups {
+		if best, ok := core.Best(res[g.Start:g.End]); ok {
+			em.Note(g.Title + ": peak " + f2(best.Speedup) + " at r=" + fg(best.R))
+		}
+	}
+	return em.Finish()
+}
+
+// sweepReleaser releases sweep rows in plan order as point jobs resolve:
+// results park under their index, and the contiguous ready prefix flushes
+// through the Emitter (opening each group's table at its first point).
+// It is the point-granular analogue of the element releaser in engine.go;
+// the lock serializes Emitter calls, and the first failed point cancels
+// the remaining jobs.
+type sweepReleaser struct {
+	mu      sync.Mutex
+	plan    *SweepPlan
+	em      *report.Emitter
+	res     []core.SweepPoint
+	got     []bool
+	next    int
+	failure error
+	cancel  context.CancelFunc
+}
+
+func (r *sweepReleaser) done(i int, result engine.Result) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.got == nil {
+		r.got = make([]bool, len(r.res))
+	}
+	if result.Err != nil {
+		if r.failure == nil {
+			r.failure = fmt.Errorf("sweep: point %d: %w", i, result.Err)
+			r.cancel()
+		}
+		r.got[i] = true
+		return
+	}
+	pt, ok := result.Value.(core.SweepPoint)
+	if !ok {
+		if r.failure == nil {
+			r.failure = fmt.Errorf("sweep: point %d: unexpected cached result type %T", i, result.Value)
+			r.cancel()
+		}
+		r.got[i] = true
+		return
+	}
+	r.res[i] = pt
+	r.got[i] = true
+	for r.next < len(r.res) && r.got[r.next] {
+		if r.failure == nil {
+			p := r.plan.points[r.next]
+			g := r.plan.groups[p.Group]
+			if r.next == g.Start {
+				r.em.Table(g.Title, sweepColumns...)
+			}
+			r.em.Row(rowOf(g, r.res[r.next])...)
+		}
+		r.next++
+	}
+}
+
+func (r *sweepReleaser) err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failure
+}

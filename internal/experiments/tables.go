@@ -58,9 +58,11 @@ func measureApp(ctx context.Context, w workload.Workload, opt Options) (core.App
 }
 
 // Table2 regenerates the application-parameter table from simulation.
+// With opt.Emit set, each application's row streams out as soon as its
+// per-core simulation sub-jobs resolve.
 func Table2(ctx context.Context, opt Options) (*report.Document, error) {
-	doc := &report.Document{ID: "table2", Title: "Application parameters (measured on the simulator)"}
-	t := doc.AddTable("Table II — application parameters",
+	em := report.NewEmitter("table2", "Application parameters (measured on the simulator)", opt.Emit)
+	em.Table("Table II — application parameters",
 		"Application", "serial(%)", "fored(%)", "fred(%)", "fcon(%)", "f",
 		"paper serial(%)", "paper fored(%)", "paper fred(%)", "paper fcon(%)", "paper f")
 	for _, w := range workloadSet(opt) {
@@ -72,7 +74,7 @@ func Table2(ctx context.Context, opt Options) (*report.Document, error) {
 			return nil, fmt.Errorf("%s: %w", w.Name(), err)
 		}
 		p := paperTableII[w.Name()]
-		t.AddRow(w.Name(),
+		em.Row(w.Name(),
 			report.FormatFloat(ap.SerialFraction()*100),
 			report.FormatFloat(ap.FOred*100),
 			report.FormatFloat(ap.FRed()*100),
@@ -84,9 +86,9 @@ func Table2(ctx context.Context, opt Options) (*report.Document, error) {
 			report.FormatFloat(p.fconPct),
 			f5(p.f))
 	}
-	doc.AddNote("Critical sections are not modeled (paper measures <= 0.004%% and excludes them from the analysis).")
-	doc.AddNote("Absolute percentages depend on the simulator's latency constants; the ordering (fuzzy > kmeans > hop in f; hop highest fcon; hop superlinear fored) matches the paper.")
-	return doc, nil
+	em.Note("Critical sections are not modeled (paper measures <= 0.004%% and excludes them from the analysis).")
+	em.Note("Absolute percentages depend on the simulator's latency constants; the ordering (fuzzy > kmeans > hop in f; hop highest fcon; hop superlinear fored) matches the paper.")
+	return em.Finish()
 }
 
 // Table3 renders the eight synthetic application classes.
@@ -120,9 +122,11 @@ var paperTableIV = map[string][3]float64{
 }
 
 // Table4 regenerates the data-set sensitivity study from native runs.
+// With opt.Emit set, each dataset's row streams out as its native run
+// completes.
 func Table4(ctx context.Context, opt Options) (*report.Document, error) {
-	doc := &report.Document{ID: "table4", Title: "Dataset sensitivity (native runs, operation counts)"}
-	t := doc.AddTable("Table IV — dataset sensitivity",
+	em := report.NewEmitter("table4", "Dataset sensitivity (native runs, operation counts)", opt.Emit)
+	em.Table("Table IV — dataset sensitivity",
 		"Data Label", "Attributes", "f", "fred(%)", "fcon(%)", "paper f", "paper fred(%)", "paper fcon(%)")
 
 	// Five iterations suffice: the section fractions are per-iteration
@@ -156,7 +160,7 @@ func Table4(ctx context.Context, opt Options) (*report.Document, error) {
 		}
 		attrs := "N:" + itoa(spec.N) + " D:" + itoa(spec.D) + " C:" + itoa(spec.C)
 		pv := paperTableIV[label]
-		t.AddRow(label, attrs,
+		em.Row(label, attrs,
 			f5(ap.F),
 			report.FormatFloat(ap.FRed()*100),
 			report.FormatFloat(ap.FCon*100),
@@ -195,6 +199,6 @@ func Table4(ctx context.Context, opt Options) (*report.Document, error) {
 			return nil, fmt.Errorf("%s: %w", spec.Label, err)
 		}
 	}
-	doc.AddNote("Paper finding reproduced when present: scaling points raises f (merge work is independent of N); scaling dimensions/centers leaves f nearly unchanged.")
-	return doc, nil
+	em.Note("Paper finding reproduced when present: scaling points raises f (merge work is independent of N); scaling dimensions/centers leaves f nearly unchanged.")
+	return em.Finish()
 }

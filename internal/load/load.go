@@ -1,11 +1,12 @@
 // Package load is the trace-driven load harness for `mergescale serve`:
-// it generates a deterministic request trace over the /run endpoints
-// (uniform, power-law-skewed, or bursty), replays it against a running
-// server with a configurable number of closed-loop workers, and reports
-// throughput plus tail latency (p50/p95/p99) split by render-cache
-// temperature — cold requests paid for a real render, warm ones replayed
-// a cached body (classified by the server's X-Render-Cache response
-// header, so the split is exact, not inferred from timing).
+// it generates a deterministic request trace over the /run endpoints —
+// and, with a grid configured, POST /sweep — (uniform, power-law-skewed,
+// or bursty), replays it against a running server with a configurable
+// number of closed-loop workers or at a constant open-loop arrival rate,
+// and reports throughput plus tail latency (p50/p95/p99) split by
+// render-cache temperature — cold requests paid for a real render, warm
+// ones replayed a cached body (classified by the server's X-Render-Cache
+// response header, so the split is exact, not inferred from timing).
 //
 // The CLI front end is `mergescale load`; scripts/bench.sh records a
 // pinned-protocol run as BENCH_serve.json so serving throughput gets the
@@ -13,6 +14,7 @@
 package load
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -47,7 +49,14 @@ const (
 // Profiles lists the valid Profile values, for usage strings.
 func Profiles() []Profile { return []Profile{Uniform, PowerLaw, Burst} }
 
-// Request is one trace element: a /run target and its render format.
+// SweepTarget is the reserved target name that issues POST /sweep with
+// the configured grid body instead of GET /run/{target}. It can appear
+// anywhere in Config.Targets (mixed with experiment ids), so a trace can
+// model clients interleaving canned experiments with parametric sweeps.
+const SweepTarget = "sweep"
+
+// Request is one trace element: a /run target (or SweepTarget) and its
+// render format.
 type Request struct {
 	Target string `json:"target"`
 	Format string `json:"format"`
@@ -83,6 +92,20 @@ type Config struct {
 	BurstSize int
 	// BurstGap is the idle time between waves; <= 0 means 100ms.
 	BurstGap time.Duration
+	// Rate, when > 0, switches Uniform/PowerLaw arrivals from closed-loop
+	// to open-loop: requests are issued at this constant rate (fixed
+	// intervals of 1/Rate on an absolute schedule, immune to drift), each
+	// in its own goroutine, regardless of whether earlier requests have
+	// completed. Closed-loop arrivals hide server slowdowns — a slow
+	// response delays the next request, so offered load degrades with the
+	// server; open-loop keeps offering, exposing queueing collapse.
+	// Incompatible with the Burst profile (which owns its arrival shape).
+	Rate float64
+	// SweepGrid is the JSON body POSTed for SweepTarget requests (the
+	// POST /sweep request format). Required when Targets contains
+	// SweepTarget; when set and Targets were discovered, SweepTarget is
+	// appended to the discovered ids so sweeps join the mix.
+	SweepGrid []byte
 	// Client issues the requests; nil means a fresh http.Client with no
 	// timeout (streams are long; cancellation comes from ctx).
 	Client *http.Client
@@ -113,6 +136,7 @@ type Result struct {
 	Formats     []string `json:"formats"`
 	Seed        int64    `json:"seed"`
 	Alpha       float64  `json:"alpha,omitempty"`
+	Rate        float64  `json:"rate,omitempty"`
 
 	Requests        int            `json:"requests"`
 	Errors          int            `json:"errors"`
@@ -250,7 +274,21 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if len(cfg.SweepGrid) > 0 {
+			targets = append(targets, SweepTarget)
+		}
 		cfg.Targets = targets
+	}
+	for _, t := range cfg.Targets {
+		if t == SweepTarget && len(cfg.SweepGrid) == 0 {
+			return nil, fmt.Errorf("load: target %q requires a sweep grid (SweepGrid / -sweepgrid)", SweepTarget)
+		}
+	}
+	if cfg.Rate < 0 {
+		return nil, fmt.Errorf("load: rate must be >= 0 (got %g)", cfg.Rate)
+	}
+	if cfg.Rate > 0 && cfg.Profile == Burst {
+		return nil, fmt.Errorf("load: open-loop rate is incompatible with the burst profile (burst owns its arrival shape)")
 	}
 	if len(cfg.Formats) == 0 {
 		cfg.Formats = []string{"text"}
@@ -300,12 +338,18 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}()
 
 	var wg sync.WaitGroup
-	switch cfg.Profile {
-	case Burst:
+	switch {
+	case cfg.Profile == Burst:
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			runBursts(ctx, cfg, client, base, requests, samples)
+		}()
+	case cfg.Rate > 0:
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runOpenLoop(ctx, cfg, client, base, start, requests, samples)
 		}()
 	default:
 		for w := 0; w < cfg.Concurrency; w++ {
@@ -313,7 +357,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for req := range requests {
-					s := doRequest(ctx, client, base, req)
+					s := doRequest(ctx, client, base, cfg.SweepGrid, req)
 					select {
 					case samples <- s:
 					case <-ctx.Done():
@@ -335,6 +379,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Formats:     cfg.Formats,
 		Seed:        cfg.Seed,
 		Alpha:       cfg.Alpha,
+		Rate:        cfg.Rate,
 	}
 	if cfg.Profile != PowerLaw {
 		res.Alpha = 0
@@ -377,6 +422,39 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// runOpenLoop dispatches the trace at a constant rate: request i is
+// issued at start + i/Rate on an absolute schedule (a late wakeup does
+// not push later arrivals back, so the offered rate holds over the run),
+// each in its own goroutine — issuance never waits for completions, so a
+// server that can't keep up accumulates in-flight requests instead of
+// silently receiving less load.
+func runOpenLoop(ctx context.Context, cfg Config, client *http.Client, base string, start time.Time, requests <-chan Request, samples chan<- sample) {
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
+	i := 0
+	for req := range requests {
+		due := start.Add(time.Duration(i) * interval)
+		i++
+		if wait := time.Until(due); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return
+			}
+		}
+		inflight.Add(1)
+		go func(req Request) {
+			defer inflight.Done()
+			s := doRequest(ctx, client, base, cfg.SweepGrid, req)
+			select {
+			case samples <- s:
+			case <-ctx.Done():
+			}
+		}(req)
+	}
+}
+
 // runBursts dispatches the trace in synchronized waves: up to BurstSize
 // requests fire together (bounded by Concurrency simultaneous
 // connections), the wave drains, the generator idles for BurstGap, and
@@ -404,7 +482,7 @@ func runBursts(ctx context.Context, cfg Config, client *http.Client, base string
 			go func(req Request) {
 				defer wave.Done()
 				defer func() { <-sem }()
-				s := doRequest(ctx, client, base, req)
+				s := doRequest(ctx, client, base, cfg.SweepGrid, req)
 				select {
 				case samples <- s:
 				case <-ctx.Done():
@@ -423,12 +501,20 @@ func runBursts(ctx context.Context, cfg Config, client *http.Client, base string
 	}
 }
 
-// doRequest issues one /run request and measures it end to end (first
-// byte of the request to the last byte of the body).
-func doRequest(ctx context.Context, client *http.Client, base string, req Request) sample {
+// doRequest issues one request — GET /run/{target}, or POST /sweep with
+// the grid body for SweepTarget — and measures it end to end (first byte
+// of the request to the last byte of the body).
+func doRequest(ctx context.Context, client *http.Client, base string, sweepGrid []byte, req Request) sample {
 	t0 := time.Now()
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		base+"/run/"+url.PathEscape(req.Target)+"?format="+url.QueryEscape(req.Format), nil)
+	var httpReq *http.Request
+	var err error
+	if req.Target == SweepTarget {
+		httpReq, err = http.NewRequestWithContext(ctx, http.MethodPost,
+			base+"/sweep?format="+url.QueryEscape(req.Format), bytes.NewReader(sweepGrid))
+	} else {
+		httpReq, err = http.NewRequestWithContext(ctx, http.MethodGet,
+			base+"/run/"+url.PathEscape(req.Target)+"?format="+url.QueryEscape(req.Format), nil)
+	}
 	if err != nil {
 		return sample{latency: time.Since(t0), err: err}
 	}

@@ -1,0 +1,162 @@
+package load
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const testGrid = `{"apps":[{"f":0.9}],"budgets":[64],"rs":[1,2,4]}`
+
+// TestOpenLoopIssuesFullTrace: rate mode completes the whole trace
+// against a responsive server and reports the configured rate.
+func TestOpenLoopIssuesFullTrace(t *testing.T) {
+	ts := testServer(t, "alpha", "beta")
+	res, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Targets:  []string{"alpha", "beta"},
+		Requests: 20,
+		Rate:     2000, // fast intervals; determinism comes from the trace, not timing
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 20 {
+		t.Errorf("requests = %d, want 20", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0", res.Errors)
+	}
+	if res.Rate != 2000 {
+		t.Errorf("result echoes rate %g, want 2000", res.Rate)
+	}
+}
+
+// TestOpenLoopDoesNotWaitForCompletions: with a server that stalls every
+// response until released, a closed-loop harness at concurrency 1 could
+// have at most one request in flight; the open-loop dispatcher must keep
+// issuing on schedule regardless. The stall releases only once every
+// trace request has arrived — if arrivals waited on completions this
+// would deadlock (bounded by the context timeout) instead of passing.
+func TestOpenLoopDoesNotWaitForCompletions(t *testing.T) {
+	const n = 8
+	var arrived atomic.Int32
+	release := make(chan struct{})
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if arrived.Add(1) == n {
+			close(release)
+		}
+		<-release
+		io.WriteString(w, "ok")
+	}))
+	defer stall.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		BaseURL:     stall.URL,
+		Targets:     []string{"alpha"},
+		Concurrency: 1, // irrelevant in rate mode; proves arrivals are open-loop
+		Requests:    n,
+		Rate:        1000,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != n {
+		t.Errorf("requests = %d, want %d", res.Requests, n)
+	}
+	if got := arrived.Load(); got != n {
+		t.Errorf("server saw %d arrivals, want %d", got, n)
+	}
+}
+
+// TestOpenLoopRejectsBurst: burst owns its arrival shape; combining it
+// with a rate is refused.
+func TestOpenLoopRejectsBurst(t *testing.T) {
+	ts := testServer(t, "alpha")
+	if _, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Targets: []string{"alpha"}, Profile: Burst, Rate: 10, Requests: 1,
+	}); err == nil {
+		t.Fatal("burst + rate accepted")
+	}
+	if _, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Targets: []string{"alpha"}, Rate: -1, Requests: 1,
+	}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+// TestSweepTargetPosts: the reserved "sweep" target issues POST /sweep
+// with the configured grid body and measures it like any other request —
+// the second equivalent sweep classifies warm via X-Render-Cache.
+func TestSweepTargetPosts(t *testing.T) {
+	ts := testServer(t, "alpha")
+	res, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Targets:     []string{SweepTarget},
+		Concurrency: 1,
+		Requests:    3,
+		Seed:        1,
+		SweepGrid:   []byte(testGrid),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("sweep requests errored: %+v", res.StatusCounts)
+	}
+	if res.StatusCounts["200"] != 3 {
+		t.Fatalf("status counts = %v, want three 200s", res.StatusCounts)
+	}
+	if res.Warm.Requests == 0 {
+		t.Error("repeated identical sweeps never classified warm")
+	}
+	if res.Cold.Requests == 0 {
+		t.Error("first sweep not classified cold")
+	}
+}
+
+// TestSweepTargetRequiresGrid: naming the sweep target without a grid is
+// a configuration error, caught before any request.
+func TestSweepTargetRequiresGrid(t *testing.T) {
+	ts := testServer(t, "alpha")
+	if _, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Targets: []string{"alpha", SweepTarget}, Requests: 1,
+	}); err == nil {
+		t.Fatal("sweep target without grid accepted")
+	}
+}
+
+// TestDiscoveryAppendsSweepTarget: with a grid configured and no explicit
+// targets, discovery adds the sweep target to the mix.
+func TestDiscoveryAppendsSweepTarget(t *testing.T) {
+	ts := testServer(t, "alpha", "beta")
+	res, err := Run(context.Background(), Config{
+		BaseURL:   ts.URL,
+		Requests:  30,
+		Seed:      5,
+		SweepGrid: []byte(testGrid),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tgt := range res.Targets {
+		if tgt == SweepTarget {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("discovered targets %v lack %q", res.Targets, SweepTarget)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("mixed run errored: %+v", res.StatusCounts)
+	}
+}

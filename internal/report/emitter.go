@@ -1,0 +1,129 @@
+package report
+
+import "fmt"
+
+// Emitter builds a Document while mirroring its element stream to an
+// optional live hook, in exactly the order Document.Elements() replays:
+// BeginDoc, every table fine-grained in construction order, then charts,
+// then notes, then EndDoc. Tables stream live — the BeginTable frame goes
+// out when the table opens and every row the moment it is added — while
+// charts and notes buffer until Finish, because Elements() orders them
+// after all tables (and an ASCII chart needs its full extent anyway).
+//
+// The invariant producers rely on: a successful Emitter session forwards
+// exactly the element sequence Elements() of the finished document would
+// produce, so a consumer that saw the live stream and one that replays the
+// cached document render byte-identical output.
+//
+// A nil hook makes every send a no-op — the Emitter then just builds the
+// Document, so experiment code uses one code path whether or not anyone is
+// listening. The first hook error latches: later sends are skipped, the
+// document keeps building (a cacheable result is still produced), and
+// Finish returns the error.
+//
+// An Emitter is single-goroutine, like the Document it builds.
+type Emitter struct {
+	doc  *Document
+	emit func(Element) error
+	err  error
+	open *Table
+}
+
+// NewEmitter starts a document and emits its BeginDoc element. emit may be
+// nil (buffered-only construction).
+func NewEmitter(id, title string, emit func(Element) error) *Emitter {
+	e := &Emitter{doc: &Document{ID: id, Title: title}, emit: emit}
+	e.send(Element{Kind: ElemBeginDoc, ID: id, Title: title})
+	return e
+}
+
+// Doc returns the document under construction.
+func (e *Emitter) Doc() *Document { return e.doc }
+
+// Err returns the first hook error, if any.
+func (e *Emitter) Err() error { return e.err }
+
+func (e *Emitter) send(el Element) {
+	if e.emit == nil || e.err != nil {
+		return
+	}
+	e.err = e.emit(el)
+}
+
+// closeTable ends the open live table, if any.
+func (e *Emitter) closeTable() {
+	if e.open == nil {
+		return
+	}
+	e.open = nil
+	e.send(Element{Kind: ElemEndTable})
+}
+
+// Table closes any open table and opens a new live one: the frame (title,
+// columns) is emitted immediately, rows follow via Row/Rowf. The table
+// stays open — and rows keep streaming — until the next Table call or
+// Finish; Chart and Note calls in between do not close it, since charts
+// and notes are buffered past every table anyway.
+func (e *Emitter) Table(title string, columns ...string) {
+	e.closeTable()
+	t := e.doc.AddTable(title, columns...)
+	e.open = t
+	e.send(Element{Kind: ElemBeginTable, Table: tableFrame(t)})
+}
+
+// Row appends one row to the open table and emits it.
+func (e *Emitter) Row(cells ...string) {
+	if e.open == nil {
+		if e.err == nil {
+			e.err = fmt.Errorf("report: Emitter.Row without an open table")
+		}
+		return
+	}
+	e.open.Rows = append(e.open.Rows, cells)
+	e.send(Element{Kind: ElemRow, Row: cells})
+}
+
+// Rowf appends one row of mixed values, formatted like Table.AddRowf.
+func (e *Emitter) Rowf(values ...interface{}) {
+	if e.open == nil {
+		if e.err == nil {
+			e.err = fmt.Errorf("report: Emitter.Rowf without an open table")
+		}
+		return
+	}
+	row := formatRow(values)
+	e.open.Rows = append(e.open.Rows, row)
+	e.send(Element{Kind: ElemRow, Row: row})
+}
+
+// Chart appends a chart to the document. Charts are buffered — the caller
+// may keep appending series to the returned chart until Finish, which
+// emits every chart fine-grained after the last table.
+func (e *Emitter) Chart(title, xlabel, ylabel string, logX bool) *Chart {
+	return e.doc.AddChart(title, xlabel, ylabel, logX)
+}
+
+// Note records a note line; notes are buffered and emitted by Finish after
+// the charts, matching Elements() order.
+func (e *Emitter) Note(format string, args ...interface{}) {
+	e.doc.AddNote(format, args...)
+}
+
+// Finish closes the open table, emits the buffered charts and notes plus
+// the EndDoc element, and returns the finished document along with the
+// first hook error (the document is complete and usable either way).
+func (e *Emitter) Finish() (*Document, error) {
+	e.closeTable()
+	for _, c := range e.doc.Charts {
+		e.send(Element{Kind: ElemBeginChart, Chart: chartFrame(c)})
+		for _, s := range c.Series {
+			e.send(Element{Kind: ElemSeries, Series: s})
+		}
+		e.send(Element{Kind: ElemEndChart})
+	}
+	for _, n := range e.doc.Notes {
+		e.send(Element{Kind: ElemNote, Note: n})
+	}
+	e.send(Element{Kind: ElemEndDoc})
+	return e.doc, e.err
+}

@@ -48,13 +48,18 @@ type jsonSeries struct {
 // top-level array. It buffers only the document currently being assembled
 // — elements arrive grouped (tables, charts, notes) between BeginDoc and
 // EndDoc, and the object is flushed on EndDoc — so memory stays bounded by
-// the largest single document, not the whole run. bare drops the array
-// framing for the standalone Document.JSON form.
+// the largest single document, not the whole run (the document schema is a
+// single object, so this format cannot flush individual rows). Fine-
+// grained table/chart elements accumulate into tbl/cht until their End
+// element. bare drops the array framing for the standalone Document.JSON
+// form.
 type jsonRenderer struct {
 	w    io.Writer
 	bare bool
 	docs int
 	cur  *jsonDoc
+	tbl  *jsonTable
+	cht  *jsonChart
 }
 
 func (r *jsonRenderer) Begin() error {
@@ -97,6 +102,44 @@ func (r *jsonRenderer) Element(el Element) error {
 			jc.Series = append(jc.Series, jsonSeries{Name: s.Name, X: s.X, Y: s.Y})
 		}
 		r.cur.Charts = append(r.cur.Charts, jc)
+		return nil
+	case ElemBeginTable:
+		t := el.Table
+		// Rows keeps the frame's nil-ness so a rowless table marshals
+		// exactly like the coarse form: nil -> "rows": null, empty ->
+		// "rows": [].
+		r.tbl = &jsonTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+		return nil
+	case ElemRow:
+		if r.tbl == nil {
+			return fmt.Errorf("report: ElemRow outside a table")
+		}
+		r.tbl.Rows = append(r.tbl.Rows, el.Row)
+		return nil
+	case ElemEndTable:
+		if r.tbl == nil {
+			return fmt.Errorf("report: ElemEndTable outside a table")
+		}
+		r.cur.Tables = append(r.cur.Tables, *r.tbl)
+		r.tbl = nil
+		return nil
+	case ElemBeginChart:
+		c := el.Chart
+		r.cht = &jsonChart{Title: c.Title, XLabel: c.XLabel, YLabel: c.YLabel, LogX: c.LogX}
+		return nil
+	case ElemSeries:
+		if r.cht == nil {
+			return fmt.Errorf("report: ElemSeries outside a chart")
+		}
+		s := el.Series
+		r.cht.Series = append(r.cht.Series, jsonSeries{Name: s.Name, X: s.X, Y: s.Y})
+		return nil
+	case ElemEndChart:
+		if r.cht == nil {
+			return fmt.Errorf("report: ElemEndChart outside a chart")
+		}
+		r.cur.Charts = append(r.cur.Charts, *r.cht)
+		r.cht = nil
 		return nil
 	case ElemNote:
 		r.cur.Notes = append(r.cur.Notes, el.Note)

@@ -16,12 +16,19 @@ func (d *Document) Markdown(w io.Writer) error {
 	return d.Replay(&markdownRenderer{w: w})
 }
 
-// markdownRenderer is the GFM backend. Its only state is whether the
-// current document has emitted a note bullet, which decides the blank line
-// closing the bullet list.
+// markdownRenderer is the GFM backend. Pipe-table rows need no alignment,
+// so fine-grained tables flush truly incrementally: ElemBeginTable writes
+// the title, header and separator at once, every ElemRow goes straight to
+// the writer (cols holds the open table's column count for padding), and
+// ElemEndTable just closes with the blank line. Charts render as ASCII
+// inside a fence and therefore buffer until ElemEndChart. sawNote decides
+// the blank line closing a document's bullet list.
 type markdownRenderer struct {
 	w       io.Writer
 	sawNote bool
+	inTable bool
+	cols    []string
+	chart   *Chart
 }
 
 func (r *markdownRenderer) Begin() error { return nil }
@@ -39,6 +46,35 @@ func (r *markdownRenderer) Element(el Element) error {
 		}
 		_, err := fmt.Fprintln(r.w)
 		return err
+	case ElemBeginTable:
+		r.inTable, r.cols = true, el.Table.Columns
+		return markdownTableHeader(r.w, el.Table.Title, el.Table.Columns)
+	case ElemRow:
+		if !r.inTable {
+			return fmt.Errorf("report: ElemRow outside a table")
+		}
+		return markdownTableRow(r.w, r.cols, el.Row)
+	case ElemEndTable:
+		r.inTable, r.cols = false, nil
+		_, err := fmt.Fprintln(r.w)
+		return err
+	case ElemBeginChart:
+		c := el.Chart
+		r.chart = &c
+		return nil
+	case ElemSeries:
+		if r.chart == nil {
+			return fmt.Errorf("report: ElemSeries outside a chart")
+		}
+		r.chart.Series = append(r.chart.Series, el.Series)
+		return nil
+	case ElemEndChart:
+		if r.chart == nil {
+			return fmt.Errorf("report: ElemEndChart outside a chart")
+		}
+		c := r.chart
+		r.chart = nil
+		return r.Element(Element{Kind: ElemChart, Chart: *c})
 	case ElemChart:
 		if _, err := fmt.Fprintln(r.w, "```"); err != nil {
 			return err
@@ -66,41 +102,54 @@ func (r *markdownRenderer) Element(el Element) error {
 }
 
 // Markdown writes the table as a GFM pipe table preceded by its title in
-// bold.
+// bold. It shares markdownTableHeader/markdownTableRow with the
+// fine-grained streaming path, so both emit identical bytes.
 func (t *Table) Markdown(w io.Writer) error {
-	if t.Title != "" {
-		if _, err := fmt.Fprintf(w, "**%s**\n\n", escapeMarkdown(t.Title)); err != nil {
-			return err
-		}
-	}
-	row := func(cells []string) error {
-		out := make([]string, len(t.Columns))
-		for i := range t.Columns {
-			cell := ""
-			if i < len(cells) {
-				cell = cells[i]
-			}
-			out[i] = escapeCell(cell)
-		}
-		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(out, " | "))
-		return err
-	}
-	if err := row(t.Columns); err != nil {
-		return err
-	}
-	sep := make([]string, len(t.Columns))
-	for i := range sep {
-		sep[i] = "---"
-	}
-	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+	if err := markdownTableHeader(w, t.Title, t.Columns); err != nil {
 		return err
 	}
 	for _, r := range t.Rows {
-		if err := row(r); err != nil {
+		if err := markdownTableRow(w, t.Columns, r); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// markdownTableHeader writes the bold title (when present), the header row
+// and the --- separator — everything a pipe table emits before its first
+// data row, so a streaming producer can flush it the moment the table
+// opens.
+func markdownTableHeader(w io.Writer, title string, columns []string) error {
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", escapeMarkdown(title)); err != nil {
+			return err
+		}
+	}
+	if err := markdownTableRow(w, columns, columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	return err
+}
+
+// markdownTableRow writes one pipe-table row, padded (or truncated) to the
+// column count with every cell escaped.
+func markdownTableRow(w io.Writer, columns, cells []string) error {
+	out := make([]string, len(columns))
+	for i := range columns {
+		cell := ""
+		if i < len(cells) {
+			cell = cells[i]
+		}
+		out[i] = escapeCell(cell)
+	}
+	_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(out, " | "))
+	return err
 }
 
 // escapeCell protects the pipe-table structure from cell content.

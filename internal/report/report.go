@@ -23,6 +23,12 @@ func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 // should be pre-formatted by the caller; this is a convenience for mixed
 // rows).
 func (t *Table) AddRowf(values ...interface{}) {
+	t.Rows = append(t.Rows, formatRow(values))
+}
+
+// formatRow stringifies mixed row values — floats through FormatFloat,
+// everything else through %v — shared by AddRowf and Emitter.Rowf.
+func formatRow(values []interface{}) []string {
 	row := make([]string, len(values))
 	for i, v := range values {
 		switch x := v.(type) {
@@ -32,7 +38,7 @@ func (t *Table) AddRowf(values ...interface{}) {
 			row[i] = fmt.Sprintf("%v", v)
 		}
 	}
-	t.Rows = append(t.Rows, row)
+	return row
 }
 
 // FormatFloat renders a float compactly: integers without decimals, small
@@ -127,26 +133,14 @@ func (t *Table) Render(w io.Writer) error {
 }
 
 // CSV writes the table as RFC-4180-ish CSV (quoting cells that need it).
+// It shares csvWriteRow with the fine-grained streaming path, so both emit
+// identical bytes.
 func (t *Table) CSV(w io.Writer) error {
-	esc := func(s string) string {
-		if strings.ContainsAny(s, ",\"\n") {
-			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
-		}
-		return s
-	}
-	writeRow := func(cells []string) error {
-		out := make([]string, len(cells))
-		for i, c := range cells {
-			out[i] = esc(c)
-		}
-		_, err := fmt.Fprintln(w, strings.Join(out, ","))
-		return err
-	}
-	if err := writeRow(t.Columns); err != nil {
+	if err := csvWriteRow(w, t.Columns); err != nil {
 		return err
 	}
 	for _, row := range t.Rows {
-		if err := writeRow(row); err != nil {
+		if err := csvWriteRow(w, row); err != nil {
 			return err
 		}
 	}
@@ -339,16 +333,57 @@ func (d *Document) Render(w io.Writer) error {
 
 // textRenderer is the fixed-width terminal backend: a == heading, aligned
 // tables, ASCII charts, and note: lines. sep adds the blank line that
-// separates (and trails) documents in a stream.
+// separates (and trails) documents in a stream. Fine-grained tables and
+// charts are reassembled in tbl/chart before rendering: column alignment
+// needs every row's width and the ASCII plot needs the global min/max, so
+// this format cannot flush mid-table (markdown and csv can).
 type textRenderer struct {
-	w   io.Writer
-	sep bool
+	w     io.Writer
+	sep   bool
+	tbl   *Table
+	chart *Chart
 }
 
 func (r *textRenderer) Begin() error { return nil }
 func (r *textRenderer) End() error   { return nil }
 
 func (r *textRenderer) Element(el Element) error {
+	switch el.Kind {
+	case ElemBeginTable:
+		t := el.Table
+		r.tbl = &t
+		return nil
+	case ElemRow:
+		if r.tbl == nil {
+			return fmt.Errorf("report: ElemRow outside a table")
+		}
+		r.tbl.Rows = append(r.tbl.Rows, el.Row)
+		return nil
+	case ElemEndTable:
+		if r.tbl == nil {
+			return fmt.Errorf("report: ElemEndTable outside a table")
+		}
+		t := r.tbl
+		r.tbl = nil
+		return r.Element(Element{Kind: ElemTable, Table: *t})
+	case ElemBeginChart:
+		c := el.Chart
+		r.chart = &c
+		return nil
+	case ElemSeries:
+		if r.chart == nil {
+			return fmt.Errorf("report: ElemSeries outside a chart")
+		}
+		r.chart.Series = append(r.chart.Series, el.Series)
+		return nil
+	case ElemEndChart:
+		if r.chart == nil {
+			return fmt.Errorf("report: ElemEndChart outside a chart")
+		}
+		c := r.chart
+		r.chart = nil
+		return r.Element(Element{Kind: ElemChart, Chart: *c})
+	}
 	switch el.Kind {
 	case ElemBeginDoc:
 		// Direct writes: Fprintf would box both strings per document.

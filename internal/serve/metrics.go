@@ -294,7 +294,7 @@ func (s *Server) instrument(endpoint string, next http.Handler) http.Handler {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		format := ""
-		if endpoint == "/run" {
+		if endpoint == "/run" || endpoint == "/sweep" {
 			format = normalizeFormat(r.URL.Query().Get("format"))
 		}
 		defer func() {

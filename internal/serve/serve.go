@@ -11,11 +11,19 @@
 //
 // Endpoints:
 //
-//	GET /healthz               liveness probe ("ok")
-//	GET /experiments           registry listing as JSON
-//	GET /run/{id|all}?format=F stream rendered experiment output (chunked)
-//	GET /stats                 engine + disk-cache counters as JSON
-//	GET /metrics               Prometheus text-format metrics
+//	GET  /healthz               liveness probe ("ok")
+//	GET  /experiments           registry listing as JSON
+//	GET  /run/{id|all}?format=F stream rendered experiment output (chunked)
+//	POST /sweep?format=F        stream a parametric design-space sweep
+//	GET  /stats                 engine + disk-cache counters as JSON
+//	GET  /metrics               Prometheus text-format metrics
+//
+// POST /sweep accepts a JSON grid (apps × budgets × r values), normalizes
+// it into canonical engine keys — sorted, deduplicated, labels derived
+// from parameters — and streams one table row per grid point as its
+// engine job resolves. Equivalent grids, however ordered, share cache
+// entries at both layers: per-point results in the engine/disk cache and
+// whole bodies in the render cache.
 //
 // Under load, three more mechanisms engage (see docs/ARCHITECTURE.md
 // "Serving under load"): cold identical /run requests singleflight the
@@ -131,6 +139,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /experiments", s.instrument("/experiments", s.limit(http.HandlerFunc(s.handleExperiments))))
 	mux.Handle("GET /stats", s.instrument("/stats", s.limit(http.HandlerFunc(s.handleStats))))
 	mux.Handle("GET /run/{target}", s.instrument("/run", s.limit(s.capStreams(http.HandlerFunc(s.handleRun)))))
+	mux.Handle("POST /sweep", s.instrument("/sweep", s.limit(s.capStreams(http.HandlerFunc(s.handleSweep)))))
 	return mux
 }
 
@@ -291,29 +300,91 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Rendered-response cache: a warm (target, format) pair skips the
-	// engine walk and re-rendering — the whole body goes out in one write.
-	// Consulted only after target resolution so 404 traffic cannot skew
-	// the hit/miss counters (an unknown target could never be a hit).
-	// Entries only exist for runs that completed cleanly, so a hit can
-	// never replay a partial document. Wall-clock runs (UseDuration) are
-	// nondeterministic and never enter the cache.
-	//
-	// Cold misses singleflight per key: the first request leads and
-	// streams its render (teed into the cache); concurrent identical
-	// requests wait for the leader and serve its body, so a stampede of N
-	// cold clients performs exactly one render. A leader that fails —
-	// client disconnect, experiment error — wakes its followers with
-	// ok=false and the next one takes over, so a dead leader never wedges
-	// the key.
-	cacheable := !s.Opt.UseDuration
-	key := renderKey{target: target, format: format}
+	// One emit hook per client: the element release buffer inside
+	// StreamElements serializes calls, and a slow client applies
+	// backpressure through its connection without stalling other requests
+	// (each request drives its own stream). The request context cancels on
+	// disconnect, and a mid-stream write error additionally cancels
+	// outstanding jobs via the stream's emit-error cancellation.
+	s.streamRender(w, r, renderKey{target: target, format: format}, !s.Opt.UseDuration,
+		func(emit func(report.Element) error) error {
+			return experiments.StreamElements(r.Context(), s.Engine, targets, s.Opt, emit)
+		})
+}
+
+// handleSweep streams one parametric design-space sweep. The JSON grid is
+// decoded, validated and normalized before any engine work — malformed
+// bodies get a one-line 400 and never create a job. The normalized plan
+// keys both layers of caching: every grid point is one engine job under a
+// canonical key (equivalent requests, however ordered or duplicated, hit
+// the same entries), and the rendered body caches under the plan
+// fingerprint, so a repeated equivalent grid is a whole-body hit. Cold
+// sweeps stream element-granularly: each point's table row flushes the
+// moment its job resolves, so the first row arrives while later points
+// still compute.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "text"
+	}
+	if _, err := report.NewRenderer(format, io.Discard); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := experiments.ParseSweepRequest(http.MaxBytesReader(w, r.Body, experiments.MaxSweepBody))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	plan, err := req.Normalize()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Pin before the run: Pin covers present and future entries, so the
+	// point results persist as pinned however the race with Put falls, and
+	// a render-cache hit (no jobs executed) still records the intent.
+	if plan.Pin && s.Store != nil {
+		for _, key := range plan.Keys() {
+			s.Store.Pin(key)
+		}
+	}
+	// Sweeps are pure model arithmetic — deterministic regardless of
+	// UseDuration — so the rendered body is always cacheable.
+	s.streamRender(w, r, renderKey{target: "sweep:" + plan.Fingerprint(), format: format}, true,
+		func(emit func(report.Element) error) error {
+			_, err := plan.Run(r.Context(), experiments.Options{Engine: s.Engine, Emit: emit})
+			return err
+		})
+}
+
+// streamRender is the chunked streaming pipeline shared by /run and
+// /sweep: it consults the rendered-response cache under key, then either
+// serves a cached body, follows an in-flight leader, or leads a real
+// render — driving produce's elements through the format renderer with a
+// flush per element, teeing the bytes into the cache on success.
+//
+// The cache rules: entries only exist for runs that completed cleanly, so
+// a hit can never replay a partial document; uncacheable runs (wall-clock
+// /run) bypass the cache entirely. Cold misses singleflight per key: the
+// first request leads and streams its render, concurrent identical
+// requests wait and serve the leader's body, so a stampede of N cold
+// clients performs exactly one render. A leader that fails — client
+// disconnect, experiment error — wakes its followers with ok=false and
+// the next one takes over, so a dead leader never wedges the key.
+//
+// Errors before the first body byte get a clean 500; errors after it
+// abort the connection (http.ErrAbortHandler) — a truncated chunked body
+// is the HTTP-visible form of a failed stream, and is preferable to a
+// silently incomplete document with a clean terminator.
+func (s *Server) streamRender(w http.ResponseWriter, r *http.Request, key renderKey, cacheable bool,
+	produce func(emit func(report.Element) error) error) {
 	var call *renderCall
 	if cacheable {
 		for {
 			cached, c, leader := s.renderedBodies.join(key)
 			if cached != nil {
-				s.writeCached(w, format, target, cached)
+				s.writeCached(w, key.format, key.target, cached)
 				return
 			}
 			if leader {
@@ -323,7 +394,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			select {
 			case <-c.done:
 				if c.ok {
-					s.writeCached(w, format, target, c.body)
+					s.writeCached(w, key.format, key.target, c.body)
 					return
 				}
 				// Leader failed; loop — re-join, possibly as the new
@@ -346,7 +417,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		defer func() { s.renderedBodies.finish(key, call, renderedBody, renderedOK) }()
 	}
 
-	w.Header().Set("Content-Type", contentTypes[format])
+	w.Header().Set("Content-Type", contentTypes[key.format])
 	w.Header().Set("X-Content-Type-Options", "nosniff")
 	w.Header().Set("X-Render-Cache", renderCacheState(cacheable))
 	body := &countingWriter{w: w}
@@ -358,9 +429,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		capture = &bytes.Buffer{}
 		out = io.MultiWriter(body, capture)
 	}
-	renderer, err := report.NewRenderer(format, out)
+	renderer, err := report.NewRenderer(key.format, out)
 	if err != nil {
-		// Unreachable: the format was validated above.
+		// Unreachable: every caller validates the format first.
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -368,18 +439,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	streamErr := renderer.Begin()
 	if streamErr == nil {
-		// One sink per client: the release buffer inside Stream serializes
-		// sink calls, and a slow client applies backpressure through its
-		// connection without stalling other requests (each request drives
-		// its own Stream). The request context cancels on disconnect, and a
-		// mid-stream write error additionally cancels outstanding jobs via
-		// Stream's sink-error cancellation.
-		streamErr = experiments.Stream(r.Context(), s.Engine, targets, s.Opt, func(o experiments.Outcome) error {
-			if o.Err != nil {
-				return fmt.Errorf("%s: %w", o.ID, o.Err)
-			}
-			if err := o.Doc.Replay(renderer); err != nil {
-				return fmt.Errorf("%s: render: %w", o.ID, err)
+		// Flushing per element pushes each table row out the moment its
+		// engine sub-job resolves (for formats that render rows
+		// incrementally; buffered formats flush nothing early).
+		streamErr = produce(func(el report.Element) error {
+			if err := renderer.Element(el); err != nil {
+				return err
 			}
 			if flusher != nil {
 				flusher.Flush()
@@ -391,7 +456,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		streamErr = renderer.End()
 	}
 	if streamErr != nil {
-		s.logf("serve: run %s format=%s: %v", target, format, streamErr)
+		s.logf("serve: %s format=%s: %v", key.target, key.format, streamErr)
 		if !body.wrote {
 			// The status line hasn't been forced out by body bytes yet, so
 			// the client can still get a proper error response.

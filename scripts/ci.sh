@@ -38,6 +38,14 @@ echo "== allocation budget (without -race: its instrumentation allocates) =="
 # sharded-path gate (fixed per-run overhead, zero per access).
 go test -run 'SteadyStateZeroAllocs' -count=1 ./internal/sim
 
+echo "== sweep first-row-before-last-job gate =="
+# Element-granular streaming acceptance: on a cold 64-point sweep the
+# first table row must be released before the last engine job completes.
+# The test holds the final point's job hostage until the first ElemRow is
+# observed — a buffered (end-of-run) pipeline would deadlock into the
+# test's loud 30s timeout instead of passing.
+go test -run 'TestSweepFirstRowBeforeLastJobCompletes' -count=1 ./internal/experiments
+
 # The >= 2x serial-vs-parallel wall-clock assertion (TestParallelRunSpeedup)
 # arms itself only on 4+ CPU hardware; on this 1-CPU container it skips,
 # so the suite above stays green while real machines still enforce it.
@@ -162,6 +170,38 @@ grep -q '"errors": 0' "$tmp/load.json"
 grep -q '"requests": 32' "$tmp/load.json"
 grep -q 'req/s' "$tmp/load.summary"
 grep -q 'SLO met' "$tmp/load.summary"
+
+echo "== POST /sweep vs CLI byte identity =="
+# A cold 64-point grid (2 apps x 2 budgets x 16 r values) through both
+# fronts: `mergescale sweep` and POST /sweep must produce byte-identical
+# output for the same grid — one request struct, one normalized plan,
+# one streaming pipeline.
+cat > "$tmp/grid.json" <<'EOF'
+{"apps":[{"f":0.975,"fcon":0.1,"fored":0.2},{"f":0.9}],
+ "budgets":[64,256],
+ "rs":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]}
+EOF
+"$tmp/mergescale" sweep -grid "$tmp/grid.json" > "$tmp/sweep.cli"
+curl -sfS -X POST --data-binary @"$tmp/grid.json" "http://$addr/sweep" > "$tmp/sweep.http"
+cmp "$tmp/sweep.cli" "$tmp/sweep.http"
+
+echo "== reordered-grid render-cache gate =="
+# The same design space spelled with every axis shuffled and duplicated
+# must normalize to the same canonical keys and plan fingerprint: the
+# second request is a whole-body render-cache hit (X-Render-Cache: hit),
+# byte-identical, and /stats proves the engine executed zero new jobs.
+executed_before=$(curl -sfS "http://$addr/stats" | grep -o '"executed":[0-9]*')
+cat > "$tmp/grid2.json" <<'EOF'
+{"apps":[{"f":0.9,"growth":"linear"},{"f":0.975,"fcon":0.1,"fored":0.2}],
+ "budgets":[256,64,256],
+ "rs":[16,15,14,13,12,11,10,9,8,7,6,5,4,3,2,1,16]}
+EOF
+curl -sfS -D "$tmp/sweep2.hdr" -X POST --data-binary @"$tmp/grid2.json" \
+    "http://$addr/sweep" > "$tmp/sweep2.http"
+grep -qi '^X-Render-Cache: hit' "$tmp/sweep2.hdr"
+cmp "$tmp/sweep.http" "$tmp/sweep2.http"
+executed_after=$(curl -sfS "http://$addr/stats" | grep -o '"executed":[0-9]*')
+[ "$executed_before" = "$executed_after" ]
 
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
