@@ -358,6 +358,7 @@ func runServe(args []string, cfg serveConfig, stderr io.Writer) int {
 	ratelimit := fs.Float64("ratelimit", 0, "per-client request rate limit in req/s; over-limit requests get 429 (0 = off)")
 	rateburst := fs.Int("rateburst", 0, "rate-limiter burst size (0 = ceil(ratelimit), min 1)")
 	maxstreams := fs.Int("maxstreams", 0, "max concurrently executing /run streams; excess requests get 503 (0 = unlimited)")
+	pincap := fs.Int("pincap", 0, "max disk-cache keys sweep clients may pin in aggregate; 0 ignores \"pin\":true requests")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -368,8 +369,8 @@ func runServe(args []string, cfg serveConfig, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mergescale serve: unexpected arguments %v\n", fs.Args())
 		return 2
 	}
-	if *ratelimit < 0 || *rateburst < 0 || *maxstreams < 0 {
-		fmt.Fprintf(stderr, "mergescale serve: -ratelimit, -rateburst and -maxstreams must be >= 0\n")
+	if *ratelimit < 0 || *rateburst < 0 || *maxstreams < 0 || *pincap < 0 {
+		fmt.Fprintf(stderr, "mergescale serve: -ratelimit, -rateburst, -maxstreams and -pincap must be >= 0\n")
 		return 2
 	}
 
@@ -392,6 +393,7 @@ func runServe(args []string, cfg serveConfig, stderr io.Writer) int {
 		RateLimit:  *ratelimit,
 		RateBurst:  *rateburst,
 		MaxStreams: *maxstreams,
+		PinCap:     *pincap,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -133,13 +133,13 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 	}
 	eng := engine.New(cfg)
 
-	// Pin before the run, matching the server: Pin covers present and
+	// Pin before the run, matching the server: pins cover present and
 	// future entries, so the outcome is the same however the race with the
-	// engine's Put falls.
+	// engine's Put falls. Unlike the server, the CLI honors the pin flag
+	// unconditionally — the operator running it owns the cache — and
+	// PinAll records the whole set with a single pin-file write.
 	if plan.Pin && store != nil {
-		for _, key := range plan.Keys() {
-			store.Pin(key)
-		}
+		store.PinAll(plan.Keys())
 	}
 
 	start := time.Now()

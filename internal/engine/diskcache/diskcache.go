@@ -126,8 +126,17 @@ type Store struct {
 	pinned  map[string]bool  // file names exempt from LRU eviction
 	pinKeys map[string]bool  // original key strings, for pin-file rewrite
 	pinFile string           // "" = pin set is process-local
+	pinGen  uint64           // bumped (under mu) on every pin-set change
 	total   int64
 	stats   Stats
+
+	// pinSaveMu serializes pin-file writes, which happen outside mu so
+	// pin persistence never blocks Get/Put traffic. pinSavedGen (guarded
+	// by pinSaveMu) is the generation of the snapshot on disk; a writer
+	// holding an older snapshot than the one already written skips, so
+	// racing writers always land newest-last.
+	pinSaveMu   sync.Mutex
+	pinSavedGen uint64
 }
 
 // Open creates dir if needed, indexes any existing entries, and returns a
@@ -258,16 +267,55 @@ func (s *Store) drop(name string, counter *uint64) {
 // expiry reads as a miss whose recomputation rewrites the slot in place.
 // With a pin file configured (Options.PinFile), the pin additionally
 // persists: the named file is rewritten so the key is re-pinned by the
-// next Open, making pinned working sets restart-surviving.
+// next Open, making pinned working sets restart-surviving. To pin many
+// keys, use PinAll — one pin-file write instead of one per key.
 func (s *Store) Pin(key string) {
+	s.PinAll([]string{key})
+}
+
+// PinAll pins every key in one shot: the pin set updates under the lock
+// once and the pin file (when configured) is rewritten once, from a
+// snapshot, outside the entry mutex — a 4096-key working set is one
+// sorted file write, not 4096, and concurrent Get/Put traffic never
+// waits behind pin-file I/O.
+func (s *Store) PinAll(keys []string) {
+	s.TryPinAll(keys, 0)
+}
+
+// TryPinAll atomically pins every key iff doing so keeps the total
+// distinct pinned-key count within maxTotal (<= 0 means no limit).
+// Already-pinned keys cost nothing — re-pinning a working set at the cap
+// still succeeds — and a refusal changes nothing. Check and pin happen
+// under one lock hold, so concurrent callers cannot jointly overshoot
+// the cap. It reports whether the keys were pinned.
+func (s *Store) TryPinAll(keys []string, maxTotal int) bool {
 	s.mu.Lock()
-	s.pinned[fileName(key)] = true
-	changed := !s.pinKeys[key]
-	s.pinKeys[key] = true
-	if changed {
-		s.savePinFileLocked()
+	if maxTotal > 0 {
+		fresh := 0
+		seen := make(map[string]bool, len(keys))
+		for _, key := range keys {
+			if !s.pinKeys[key] && !seen[key] {
+				seen[key] = true
+				fresh++
+			}
+		}
+		if len(s.pinKeys)+fresh > maxTotal {
+			s.mu.Unlock()
+			return false
+		}
 	}
+	changed := false
+	for _, key := range keys {
+		s.pinned[fileName(key)] = true
+		if !s.pinKeys[key] {
+			s.pinKeys[key] = true
+			changed = true
+		}
+	}
+	snap, gen := s.pinSnapshotLocked(changed)
 	s.mu.Unlock()
+	s.writePinFile(snap, gen)
+	return true
 }
 
 // Unpin makes key's entry an ordinary LRU citizen again (and removes it
@@ -277,10 +325,17 @@ func (s *Store) Unpin(key string) {
 	delete(s.pinned, fileName(key))
 	changed := s.pinKeys[key]
 	delete(s.pinKeys, key)
-	if changed {
-		s.savePinFileLocked()
-	}
+	snap, gen := s.pinSnapshotLocked(changed)
 	s.mu.Unlock()
+	s.writePinFile(snap, gen)
+}
+
+// PinnedCount returns the number of distinct pinned keys, including pins
+// loaded from the pin file and pins for entries that do not exist yet.
+func (s *Store) PinnedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pinKeys)
 }
 
 // loadPinFile re-pins every key recorded by a previous process. A missing
@@ -308,16 +363,15 @@ func (s *Store) loadPinFile() error {
 	return nil
 }
 
-// savePinFileLocked rewrites the pin file from the current key set:
-// sorted for deterministic bytes, written to a temp file and renamed into
-// place so a crash never leaves a torn pin set. Like Put, persistence is
-// best-effort — an I/O failure keeps the in-memory pin and is counted as
-// a PutSkip. Keys containing a newline cannot be represented line-wise
-// and stay process-local.
-func (s *Store) savePinFileLocked() {
-	if s.pinFile == "" {
-		return
+// pinSnapshotLocked captures the representable pin set and stamps it
+// with a fresh generation when a write is due; gen 0 means nothing to
+// write (no change, or no pin file configured). Keys containing a
+// newline cannot be represented line-wise and stay process-local.
+func (s *Store) pinSnapshotLocked(changed bool) ([]string, uint64) {
+	if !changed || s.pinFile == "" {
+		return nil, 0
 	}
+	s.pinGen++
 	keys := make([]string, 0, len(s.pinKeys))
 	for k := range s.pinKeys {
 		if !strings.Contains(k, "\n") {
@@ -325,6 +379,27 @@ func (s *Store) savePinFileLocked() {
 		}
 	}
 	sort.Strings(keys)
+	return keys, s.pinGen
+}
+
+// writePinFile persists one pin-set snapshot: sorted for deterministic
+// bytes, written to a temp file and renamed into place so a crash never
+// leaves a torn pin set. It runs outside the entry mutex — pin-file I/O
+// never stalls Get/Put — and snapshots carry generations so racing
+// writers land newest-last: a snapshot older than the one already on
+// disk is skipped, never renamed over it. Because map mutation and
+// snapshot share one lock hold, the highest generation always reflects
+// the final in-memory set. Like Put, persistence is best-effort — an I/O
+// failure keeps the in-memory pins and is counted as a PutSkip.
+func (s *Store) writePinFile(keys []string, gen uint64) {
+	if gen == 0 {
+		return
+	}
+	s.pinSaveMu.Lock()
+	defer s.pinSaveMu.Unlock()
+	if gen <= s.pinSavedGen {
+		return
+	}
 	var buf bytes.Buffer
 	buf.WriteString("# mergescale disk-cache pin set: one engine key per line.\n")
 	for _, k := range keys {
@@ -333,24 +408,26 @@ func (s *Store) savePinFileLocked() {
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(s.pinFile), "pins-*"+tmpSuffix)
 	if err != nil {
-		s.stats.PutSkips++
+		s.skip()
 		return
 	}
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
 		tmp.Close()
 		_ = os.Remove(tmp.Name())
-		s.stats.PutSkips++
+		s.skip()
 		return
 	}
 	if err := tmp.Close(); err != nil {
 		_ = os.Remove(tmp.Name())
-		s.stats.PutSkips++
+		s.skip()
 		return
 	}
 	if err := os.Rename(tmp.Name(), s.pinFile); err != nil {
 		_ = os.Remove(tmp.Name())
-		s.stats.PutSkips++
+		s.skip()
+		return
 	}
+	s.pinSavedGen = gen
 }
 
 // Pinned reports whether key is currently pinned.

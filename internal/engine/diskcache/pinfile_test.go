@@ -1,9 +1,11 @@
 package diskcache
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -136,5 +138,97 @@ func TestPinFileMissingIsFreshStart(t *testing.T) {
 	s := open(t, t.TempDir(), Options{PinFile: pinPath(t)})
 	if s.Pinned("anything") {
 		t.Fatal("fresh store reports pins")
+	}
+}
+
+// TestPinAllPersistsBulkSet: a bulk pin lands every key in memory and in
+// the pin file in one shot — the path POST /sweep and `mergescale sweep`
+// use for whole grids.
+func TestPinAllPersistsBulkSet(t *testing.T) {
+	dir := t.TempDir()
+	pf := pinPath(t)
+	s := open(t, dir, Options{PinFile: pf})
+	keys := []string{"k1", "k2", "k3", "k2"} // duplicate must not double-count
+	s.PinAll(keys)
+	if n := s.PinnedCount(); n != 3 {
+		t.Fatalf("PinnedCount = %d after PinAll of 3 distinct keys, want 3", n)
+	}
+	r := open(t, dir, Options{PinFile: pf})
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if !r.Pinned(k) {
+			t.Fatalf("reopened store lost bulk pin %q", k)
+		}
+	}
+}
+
+// TestTryPinAllCap: the capped pin is all-or-nothing and atomic — an
+// over-cap set changes nothing, already-pinned keys are free so a working
+// set re-pins at the cap, and disjoint keys past the cap are refused.
+func TestTryPinAllCap(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	if !s.TryPinAll([]string{"a", "b", "c"}, 3) {
+		t.Fatal("in-cap TryPinAll refused")
+	}
+	if n := s.PinnedCount(); n != 3 {
+		t.Fatalf("PinnedCount = %d, want 3", n)
+	}
+	if s.TryPinAll([]string{"d"}, 3) {
+		t.Fatal("over-cap TryPinAll accepted")
+	}
+	if s.Pinned("d") || s.PinnedCount() != 3 {
+		t.Fatal("refused TryPinAll still changed the pin set")
+	}
+	// Re-pinning the existing set at the cap is free.
+	if !s.TryPinAll([]string{"a", "b", "c"}, 3) {
+		t.Fatal("re-pin of existing keys at cap refused")
+	}
+	// A mixed set counts only its fresh keys.
+	if s.TryPinAll([]string{"a", "d"}, 3) {
+		t.Fatal("mixed over-cap TryPinAll accepted")
+	}
+	if !s.TryPinAll([]string{"a", "d"}, 4) {
+		t.Fatal("mixed in-cap TryPinAll refused")
+	}
+	if n := s.PinnedCount(); n != 4 {
+		t.Fatalf("PinnedCount = %d, want 4", n)
+	}
+}
+
+// TestConcurrentPinsConvergeOnDisk: concurrent Pin/PinAll callers must
+// leave the pin file holding the full final set — the generation-ordered
+// writer may skip stale snapshots but never persist one over a newer one.
+// Runs under -race in CI.
+func TestConcurrentPinsConvergeOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	pf := pinPath(t)
+	s := open(t, dir, Options{PinFile: pf})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				if i%2 == 0 {
+					s.Pin(key)
+				} else {
+					s.PinAll([]string{key})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	r := open(t, dir, Options{PinFile: pf})
+	for g := 0; g < 8; g++ {
+		for i := 0; i < 16; i++ {
+			key := fmt.Sprintf("g%d-k%d", g, i)
+			if !r.Pinned(key) {
+				t.Fatalf("pin file lost %q after concurrent pinning", key)
+			}
+		}
+	}
+	if n := r.PinnedCount(); n != 8*16 {
+		t.Fatalf("reopened PinnedCount = %d, want %d", n, 8*16)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"sort"
 	"strconv"
 	"sync"
@@ -214,6 +215,31 @@ func (req *SweepRequest) Normalize() (*SweepPlan, error) {
 		rs = dedupe(rs, func(a, b float64) bool { return a == b })
 	}
 
+	// Bound the grid before materializing it. The point slice below
+	// allocates a struct and hashes an engine key per point, so the size
+	// must be proven under the cap first: a 1 MiB body can describe tens
+	// of thousands of budgets × tens of thousands of rs — a multi-billion-
+	// point product that would burn CPU and memory long before its 400 if
+	// counted by building. The count here is O(budgets) and includes
+	// points the build loop would skip (r exceeding the budget), so a
+	// grid padded with invalid points is refused conservatively; bounding
+	// the work beats indulging degenerate grids. Once over the cap the
+	// tally stops, so the reported count is a lower bound — still over.
+	gridPoints := 0
+	for _, b := range budgets {
+		if rs != nil {
+			gridPoints += len(rs)
+		} else {
+			gridPoints += powerOfTwoGridLen(b.N)
+		}
+		if gridPoints > MaxSweepPoints {
+			break
+		}
+	}
+	if gridPoints*len(apps) > MaxSweepPoints {
+		return nil, fmt.Errorf("sweep: %d grid points exceeds cap %d", gridPoints*len(apps), MaxSweepPoints)
+	}
+
 	p := &SweepPlan{Apps: apps, Budgets: budgets, Rs: rs, Pin: req.Pin}
 	for _, app := range apps {
 		for _, b := range budgets {
@@ -244,11 +270,14 @@ func (req *SweepRequest) Normalize() (*SweepPlan, error) {
 	if len(p.points) == 0 {
 		return nil, fmt.Errorf("sweep: no valid design points (every r exceeds every budget)")
 	}
-	if len(p.points) > MaxSweepPoints {
-		return nil, fmt.Errorf("sweep: %d grid points exceeds cap %d", len(p.points), MaxSweepPoints)
-	}
+	// len(p.points) <= gridPoints*len(apps) <= MaxSweepPoints by the
+	// pre-materialization check above; no post-hoc cap check is needed.
 	return p, nil
 }
+
+// powerOfTwoGridLen is len(core.PowerOfTwoRs(n)) without the allocation:
+// the number of powers of two in [1, n], i.e. floor(log2 n) + 1 for n >= 1.
+func powerOfTwoGridLen(n int) int { return bits.Len(uint(n)) }
 
 // dedupe removes adjacent duplicates from a sorted slice, in place.
 func dedupe[T any](s []T, eq func(a, b T) bool) []T {

@@ -95,6 +95,12 @@ func TestSweepNormalizeRejects(t *testing.T) {
 		{"nan r", SweepRequest{Apps: []SweepApp{app}, Budgets: []int{64}, Rs: []float64{math.NaN()}}, "finite"},
 		{"no valid points", SweepRequest{Apps: []SweepApp{app}, Budgets: []int{2}, Rs: []float64{4, 8}}, "no valid design points"},
 		{"over point cap", SweepRequest{Apps: []SweepApp{app}, Budgets: []int{MaxSweepBudget}, Rs: manyRs}, "exceeds cap"},
+		// The cap counts the described grid, not just the buildable points:
+		// nearly every r here exceeds the budget and would be skipped, but
+		// the request is refused before any point is materialized — the
+		// cheap pre-materialization bound is deliberately conservative.
+		{"over cap before skips", SweepRequest{Apps: []SweepApp{app}, Budgets: []int{2}, Rs: manyRs}, "exceeds cap"},
+		{"default grid over cap", SweepRequest{Apps: []SweepApp{app}, Budgets: seqBudgets(MaxSweepPoints + 1)}, "exceeds cap"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -104,6 +110,43 @@ func TestSweepNormalizeRejects(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// seqBudgets returns the distinct budgets 1..n.
+func seqBudgets(n int) []int {
+	bs := make([]int, n)
+	for i := range bs {
+		bs[i] = i + 1
+	}
+	return bs
+}
+
+// TestSweepNormalizeHugeProductRejectedCheaply: the DoS guard. A small
+// request body can describe a grid whose apps×budgets×rs product runs
+// into the billions; Normalize must refuse it from the axis lengths
+// alone, without materializing (or even iterating) the product. Before
+// the pre-materialization bound this test would burn minutes of CPU and
+// gigabytes of allocation on its way to the same error.
+func TestSweepNormalizeHugeProductRejectedCheaply(t *testing.T) {
+	budgets := seqBudgets(70000)
+	rs := make([]float64, 60000)
+	for i := range rs {
+		rs[i] = float64(i + 1)
+	}
+	req := SweepRequest{Apps: []SweepApp{{F: 0.9}}, Budgets: budgets, Rs: rs}
+	start := time.Now()
+	_, err := req.Normalize()
+	elapsed := time.Since(start)
+	oneLine(t, err)
+	if !strings.Contains(err.Error(), "exceeds cap") {
+		t.Fatalf("error %q does not mention the cap", err)
+	}
+	// Generous bound: canonicalizing the axes is O(n log n) over ~130k
+	// values and finishes in milliseconds; iterating the 4.2e9-point
+	// product would not.
+	if elapsed > 10*time.Second {
+		t.Fatalf("over-cap rejection took %s; the grid was materialized before the cap check", elapsed)
 	}
 }
 

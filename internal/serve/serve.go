@@ -87,6 +87,15 @@ type Server struct {
 	// MaxStreams, when > 0, caps concurrently executing /run streams;
 	// excess requests get 503 with Retry-After (CLI: serve -maxstreams).
 	MaxStreams int
+	// PinCap, when > 0, lets `"pin": true` sweep requests pin their point
+	// keys in the disk store, up to this many distinct pinned keys in
+	// aggregate across all requests (CLI: serve -pincap). Zero — the
+	// default — ignores client pin requests entirely: pinned entries are
+	// exempt from LRU eviction and can hold the store above its byte cap
+	// (restart-surviving with a pin file), so accumulating them is an
+	// operator grant, not a client right. Over-cap requests still run;
+	// only the pinning is declined (see the X-Sweep-Pin header).
+	PinCap int
 
 	// renderedBodies caches fully rendered /run responses keyed by
 	// (target, format); initialized once by Handler. See renderCache for
@@ -186,6 +195,7 @@ type diskStats struct {
 	Dropped   uint64 `json:"dropped"`
 	Entries   int    `json:"entries"`
 	Bytes     int64  `json:"bytes"`
+	Pinned    int    `json:"pinned"`
 }
 
 // renderStats reports the rendered-response cache counters. Coalesced
@@ -229,6 +239,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Dropped:   ds.Dropped,
 			Entries:   entries,
 			Bytes:     bytes,
+			Pinned:    s.Store.PinnedCount(),
 		}
 	}
 	if s.renderedBodies != nil {
@@ -341,13 +352,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	// Pin before the run: Pin covers present and future entries, so the
+	// Pin before the run: pins cover present and future entries, so the
 	// point results persist as pinned however the race with Put falls, and
 	// a render-cache hit (no jobs executed) still records the intent.
-	if plan.Pin && s.Store != nil {
-		for _, key := range plan.Keys() {
-			s.Store.Pin(key)
+	// Client pinning is an operator grant: with PinCap unset (the default)
+	// the request's pin flag is ignored, and TryPinAll checks-and-pins
+	// atomically against the aggregate cap, so a stream of varied pinned
+	// grids cannot inflate the LRU-exempt set without bound. The sweep
+	// itself runs either way; X-Sweep-Pin reports the outcome without
+	// touching the body bytes (which stay identical to the CLI's).
+	if plan.Pin {
+		pinState := "off"
+		if s.Store != nil && s.PinCap > 0 {
+			if s.Store.TryPinAll(plan.Keys(), s.PinCap) {
+				pinState = "ok"
+			} else {
+				pinState = "declined"
+				s.logf("serve: sweep pin declined: %d keys would exceed pin cap %d (pinned now: %d)",
+					plan.Points(), s.PinCap, s.Store.PinnedCount())
+			}
 		}
+		w.Header().Set("X-Sweep-Pin", pinState)
 	}
 	// Sweeps are pure model arithmetic — deterministic regardless of
 	// UseDuration — so the rendered body is always cacheable.

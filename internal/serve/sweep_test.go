@@ -183,9 +183,10 @@ func TestSweepOverCapRejected(t *testing.T) {
 	}
 }
 
-// TestSweepPinPersistsPointKeys: a pinned sweep marks every canonical
-// point key in the disk store, and with a pin file configured the set
-// survives a store reopen — the restart-surviving pin path end to end.
+// TestSweepPinPersistsPointKeys: with the operator's pin cap set, a
+// pinned sweep marks every canonical point key in the disk store, and
+// with a pin file configured the set survives a store reopen — the
+// restart-surviving pin path end to end.
 func TestSweepPinPersistsPointKeys(t *testing.T) {
 	dir := t.TempDir()
 	pinFile := dir + "/pins.txt"
@@ -196,6 +197,7 @@ func TestSweepPinPersistsPointKeys(t *testing.T) {
 	srv := &Server{
 		Engine: engine.New(engine.Config{Workers: 2, Store: store}),
 		Store:  store,
+		PinCap: 64,
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -227,5 +229,95 @@ func TestSweepPinPersistsPointKeys(t *testing.T) {
 		if !reopened.Pinned(key) {
 			t.Fatalf("point key %s lost its pin across reopen", key)
 		}
+	}
+}
+
+// postPinnedSweep issues one pinned sweep and returns status plus the
+// X-Sweep-Pin header.
+func postPinnedSweep(t *testing.T, ts *httptest.Server, body string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatalf("POST /sweep: read body: %v", err)
+	}
+	return resp.StatusCode, resp.Header.Get("X-Sweep-Pin")
+}
+
+// TestSweepPinIgnoredWithoutPinCap: pinning is an operator grant. With
+// PinCap unset (the default), "pin": true sweeps still serve 200 but pin
+// nothing — a client cannot grow the LRU-exempt set on a server that
+// never opted in.
+func TestSweepPinIgnoredWithoutPinCap(t *testing.T) {
+	dir := t.TempDir()
+	store, err := diskcache.Open(dir, diskcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{
+		Engine: engine.New(engine.Config{Workers: 2, Store: store}),
+		Store:  store,
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, pin := postPinnedSweep(t, ts, `{"apps":[{"f":0.9}],"budgets":[64],"rs":[1,2,4],"pin":true}`)
+	if status != http.StatusOK {
+		t.Fatalf("pinned sweep without pin cap: status %d, want 200", status)
+	}
+	if pin != "off" {
+		t.Fatalf("X-Sweep-Pin = %q, want off", pin)
+	}
+	if n := store.PinnedCount(); n != 0 {
+		t.Fatalf("%d keys pinned on a server with no pin cap, want 0", n)
+	}
+}
+
+// TestSweepPinCapDeclinesOverflow: the pin cap bounds the aggregate
+// pinned-key count across requests. A request that would push past it is
+// served normally but pins nothing (all-or-nothing, so the cap can never
+// be overshot), while re-pinning an already-pinned grid stays free.
+func TestSweepPinCapDeclinesOverflow(t *testing.T) {
+	dir := t.TempDir()
+	store, err := diskcache.Open(dir, diskcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{
+		Engine: engine.New(engine.Config{Workers: 2, Store: store}),
+		Store:  store,
+		PinCap: 3,
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	threePoints := `{"apps":[{"f":0.9}],"budgets":[64],"rs":[1,2,4],"pin":true}`
+	status, pin := postPinnedSweep(t, ts, threePoints)
+	if status != http.StatusOK || pin != "ok" {
+		t.Fatalf("in-cap pinned sweep: status %d X-Sweep-Pin %q, want 200/ok", status, pin)
+	}
+	if n := store.PinnedCount(); n != 3 {
+		t.Fatalf("%d keys pinned after a 3-point pinned sweep, want 3", n)
+	}
+
+	// A different grid would exceed the cap: declined, nothing pinned.
+	status, pin = postPinnedSweep(t, ts, `{"apps":[{"f":0.8}],"budgets":[64],"rs":[1,2],"pin":true}`)
+	if status != http.StatusOK || pin != "declined" {
+		t.Fatalf("over-cap pinned sweep: status %d X-Sweep-Pin %q, want 200/declined", status, pin)
+	}
+	if n := store.PinnedCount(); n != 3 {
+		t.Fatalf("%d keys pinned after a declined sweep, want 3", n)
+	}
+
+	// The same grid again re-pins existing keys: free at the cap.
+	status, pin = postPinnedSweep(t, ts, threePoints)
+	if status != http.StatusOK || pin != "ok" {
+		t.Fatalf("re-pinned sweep at cap: status %d X-Sweep-Pin %q, want 200/ok", status, pin)
+	}
+	if n := store.PinnedCount(); n != 3 {
+		t.Fatalf("%d keys pinned after re-pinning the same grid, want 3", n)
 	}
 }
