@@ -40,6 +40,8 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 		burstGap    = fs.Duration("burstgap", 100*time.Millisecond, "idle gap between waves for -profile burst")
 		rate        = fs.Float64("rate", 0, "open-loop arrival rate in req/s: issue at fixed intervals regardless of completions (0 = closed-loop; incompatible with -profile burst)")
 		sweepGridF  = fs.String("sweepgrid", "", "JSON grid file enabling the \"sweep\" target (POST /sweep); appended to discovered targets when -targets is empty")
+		retries     = fs.Int("retries", 0, "retry budget per request for retryable failures: 429/503 get the full budget, other 5xx and transport errors half (0 = no retries)")
+		retryBase   = fs.Duration("retrybase", 100*time.Millisecond, "first retry backoff; doubles per attempt with jitter, raised to the server's Retry-After")
 		outPath     = fs.String("out", "", "write the JSON report to FILE instead of stdout")
 		sloWarmP99  = fs.Duration("slo-warm-p99", 0, "fail (exit 4) when warm p99 latency exceeds this budget (0 disables)")
 	)
@@ -71,6 +73,10 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 	}
 	if *rate < 0 {
 		fmt.Fprintf(stderr, "mergescale load: -rate must be >= 0 (got %g)\n", *rate)
+		return 2
+	}
+	if *retries < 0 || *retryBase < 0 {
+		fmt.Fprintln(stderr, "mergescale load: -retries and -retrybase must be >= 0")
 		return 2
 	}
 	var sweepGrid []byte
@@ -118,6 +124,8 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 		BurstGap:    *burstGap,
 		Rate:        *rate,
 		SweepGrid:   sweepGrid,
+		RetryMax:    *retries,
+		RetryBase:   *retryBase,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "mergescale load: %v\n", err)
@@ -153,6 +161,9 @@ func runLoad(args []string, stdout, stderr io.Writer) int {
 		res.Profile, res.Requests, res.DurationSeconds, res.ReqPerSec, res.Errors,
 		res.Cold.P50Ms, res.Cold.P95Ms, res.Cold.P99Ms, res.Cold.Requests,
 		res.Warm.P50Ms, res.Warm.P95Ms, res.Warm.P99Ms, res.Warm.Requests)
+	if len(res.Retried) > 0 || len(res.Exhausted) > 0 {
+		fmt.Fprintf(stderr, "load: retries issued %v, budgets exhausted %v\n", res.Retried, res.Exhausted)
+	}
 	if res.Errors > 0 {
 		return 3
 	}

@@ -5,18 +5,19 @@
 //	mergescale -list
 //	mergescale [-quick] [-format F] [-stream] [-out FILE] [-duration]
 //	           [-workers N] [-simworkers N] [-cachedir DIR] [-cachettl D]
-//	           [-pinfile FILE] [-nocache] [-stats] run <experiment-id>|all
+//	           [-pinfile FILE] [-nocache] [-faults SPEC] [-stats]
+//	           run <experiment-id>|all
 //	mergescale [-quick] [-duration] [-workers N] [-cachedir DIR]
-//	           [-cachettl D] [-pinfile FILE] [-nocache] serve
+//	           [-cachettl D] [-pinfile FILE] [-nocache] [-faults SPEC] serve
 //	           [-addr HOST:PORT] [-ratelimit N] [-rateburst N]
-//	           [-maxstreams N]
+//	           [-maxstreams N] [-reqtimeout D] [-draintimeout D]
 //	mergescale sweep [-grid FILE|-] [-format F] [-out FILE] [-workers N]
 //	           [-cachedir DIR] [-cachettl D] [-nocache] [-pinfile FILE]
-//	           [-stats] [-timing]
+//	           [-faults SPEC] [-stats] [-timing]
 //	mergescale load -url URL [-profile P] [-targets IDS] [-formats F]
 //	           [-concurrency N] [-requests N | -for D] [-rate R] [-seed N]
 //	           [-alpha A] [-burstsize N] [-burstgap D] [-sweepgrid FILE]
-//	           [-out FILE]
+//	           [-retries N] [-retrybase D] [-out FILE]
 //
 // Experiment ids follow the paper's artifact numbering (table1..table4,
 // fig2a..fig7) plus the abl-* ablations; see DESIGN.md for the index.
@@ -60,7 +61,18 @@
 // it replays a deterministic request trace (uniform, power-law, or burst)
 // against a running server and reports req/s plus p50/p95/p99 latency
 // split by render-cache temperature as JSON — the protocol behind the
-// committed BENCH_serve.json.
+// committed BENCH_serve.json. -retries arms exponential-backoff retry of
+// retryable failures (429/503/5xx/transport), honoring Retry-After.
+//
+// -faults SPEC (run, serve, sweep; requires -cachedir) arms the
+// deterministic fault injector over the disk store — see internal/faults
+// for the grammar (e.g. "seed=7,get.err=0.01,put.enospc=1/50"). The
+// engine reads the store through a circuit breaker either way: enough
+// consecutive store faults trip it open and the process degrades to
+// memory + compute — identical bytes, no disk reuse — probing the store
+// again after a cooldown. Injection never alters cache keys, envelope
+// contents, or rendered output; with the flag unset the injector is
+// entirely absent from the call path.
 package main
 
 import (
@@ -79,6 +91,7 @@ import (
 	"mergescale/internal/engine"
 	"mergescale/internal/engine/diskcache"
 	"mergescale/internal/experiments"
+	"mergescale/internal/faults"
 	"mergescale/internal/report"
 	"mergescale/internal/serve"
 	"mergescale/internal/workload"
@@ -94,23 +107,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mergescale", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list     = fs.Bool("list", false, "list available experiments and exit")
-		quickRun = fs.Bool("quick", false, "shrink data sets and grids for a fast run")
-		format   = fs.String("format", "text", "output format: text | markdown | json | csv")
-		stream   = fs.Bool("stream", false, "render each experiment as soon as it completes (same bytes, lower latency)")
-		outPath  = fs.String("out", "", "write rendered output to this file instead of stdout")
-		csv      = fs.Bool("csv", false, "deprecated: shorthand for -format=csv")
-		duration = fs.Bool("duration", false, "base native experiments on wall time instead of op counts")
-		workers  = fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial)")
-		simwork  = fs.Int("simworkers", 1, "intra-run simulator worker goroutines (1 = serial reference; results are bit-identical at any setting)")
-		cachedir = fs.String("cachedir", "", "persist engine results to this directory across runs")
-		cachettl = fs.Duration("cachettl", 0, "expire disk-cache entries older than this (0 = never)")
-		pinfile  = fs.String("pinfile", "", "persist the disk cache's pin set to this file across restarts (requires -cachedir)")
-		nocache  = fs.Bool("nocache", false, "disable the engine result cache (memory and disk)")
-		stats    = fs.Bool("stats", false, "print engine cache/worker statistics to stderr")
+		list      = fs.Bool("list", false, "list available experiments and exit")
+		quickRun  = fs.Bool("quick", false, "shrink data sets and grids for a fast run")
+		format    = fs.String("format", "text", "output format: text | markdown | json | csv")
+		stream    = fs.Bool("stream", false, "render each experiment as soon as it completes (same bytes, lower latency)")
+		outPath   = fs.String("out", "", "write rendered output to this file instead of stdout")
+		csv       = fs.Bool("csv", false, "deprecated: shorthand for -format=csv")
+		duration  = fs.Bool("duration", false, "base native experiments on wall time instead of op counts")
+		workers   = fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial)")
+		simwork   = fs.Int("simworkers", 1, "intra-run simulator worker goroutines (1 = serial reference; results are bit-identical at any setting)")
+		cachedir  = fs.String("cachedir", "", "persist engine results to this directory across runs")
+		cachettl  = fs.Duration("cachettl", 0, "expire disk-cache entries older than this (0 = never)")
+		pinfile   = fs.String("pinfile", "", "persist the disk cache's pin set to this file across restarts (requires -cachedir)")
+		nocache   = fs.Bool("nocache", false, "disable the engine result cache (memory and disk)")
+		faultSpec = fs.String("faults", "", "inject deterministic disk-store faults per this spec, e.g. seed=7,get.err=0.01 (requires -cachedir; see internal/faults)")
+		stats     = fs.Bool("stats", false, "print engine cache/worker statistics to stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mergescale [-quick] [-format F] [-stream] [-out FILE] [-duration] [-workers N] [-simworkers N] [-cachedir DIR] [-cachettl D] [-pinfile FILE] [-nocache] [-stats] run <id>|all\n       mergescale [-quick] [-duration] [-workers N] [-cachedir DIR] [-cachettl D] [-pinfile FILE] [-nocache] serve [-addr HOST:PORT] [-ratelimit N] [-rateburst N] [-maxstreams N]\n       mergescale sweep [-grid FILE|-] [-format F] [-out FILE] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] [-pinfile FILE] [-stats] [-timing]\n       mergescale load -url URL [-profile uniform|powerlaw|burst] [-targets IDS] [-formats F] [-concurrency N] [-requests N | -for D] [-rate R] [-seed N] [-alpha A] [-out FILE]\n       mergescale -list\n")
+		fmt.Fprintf(stderr, "usage: mergescale [-quick] [-format F] [-stream] [-out FILE] [-duration] [-workers N] [-simworkers N] [-cachedir DIR] [-cachettl D] [-pinfile FILE] [-nocache] [-faults SPEC] [-stats] run <id>|all\n       mergescale [-quick] [-duration] [-workers N] [-cachedir DIR] [-cachettl D] [-pinfile FILE] [-nocache] [-faults SPEC] serve [-addr HOST:PORT] [-ratelimit N] [-rateburst N] [-maxstreams N] [-reqtimeout D] [-draintimeout D]\n       mergescale sweep [-grid FILE|-] [-format F] [-out FILE] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] [-pinfile FILE] [-faults SPEC] [-stats] [-timing]\n       mergescale load -url URL [-profile uniform|powerlaw|burst] [-targets IDS] [-formats F] [-concurrency N] [-requests N | -for D] [-rate R] [-seed N] [-alpha A] [-retries N] [-retrybase D] [-out FILE]\n       mergescale -list\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -138,6 +152,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *pinfile != "" && *cachedir == "" {
 		fmt.Fprintf(stderr, "mergescale: -pinfile requires -cachedir (pins index disk-cache entries)\n")
+		return 2
+	}
+	spec, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "mergescale: -faults: %v\n", err)
+		return 2
+	}
+	if spec.Active() && (*cachedir == "" || *nocache) {
+		fmt.Fprintf(stderr, "mergescale: -faults requires -cachedir (and no -nocache): faults inject into the disk store\n")
 		return 2
 	}
 
@@ -206,6 +229,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cachettl: *cachettl,
 			pinfile:  *pinfile,
 			nocache:  *nocache,
+			faults:   spec,
 		}, stderr)
 	}
 	if len(rest) != 2 || rest[0] != "run" {
@@ -268,16 +292,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer stop()
 
 	cfg := engine.Config{Workers: *workers, DisableCache: *nocache}
-	var store *diskcache.Store
+	var chain storeChain
 	if *cachedir != "" && !*nocache {
-		s, err := diskcache.Open(*cachedir, diskcache.Options{TTL: *cachettl, PinFile: *pinfile})
-		if err != nil {
-			// The cache is best-effort: degrade to a cold run.
-			fmt.Fprintf(stderr, "mergescale: disk cache disabled: %v\n", err)
-		} else {
-			store = s
-			cfg.Store = s
-		}
+		chain = openStoreChain(*cachedir,
+			diskcache.Options{TTL: *cachettl, PinFile: *pinfile, Log: log.New(stderr, "mergescale: ", 0)},
+			spec, stderr)
+		cfg.Store = chain.store()
 	}
 	eng := engine.New(cfg)
 
@@ -289,9 +309,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *stats {
-		printStats(stderr, eng, store)
+		printStats(stderr, eng, chain)
 	}
 	return code
+}
+
+// storeChain is one process's persistent-store stack: the disk cache at
+// the bottom, the optional fault injector spliced into its file I/O and
+// its store boundary, and the circuit breaker on top. The engine only
+// ever talks to the breaker, so a store gone bad degrades the process to
+// memory + compute instead of queueing every job on a dead disk.
+type storeChain struct {
+	disk     *diskcache.Store
+	injector *faults.Injector
+	breaker  *faults.Breaker
+}
+
+// store returns the engine-facing store, nil when no disk cache opened.
+func (c storeChain) store() engine.Store {
+	if c.breaker == nil {
+		return nil
+	}
+	return c.breaker
+}
+
+// openStoreChain opens cachedir and wires the stack. The breaker is
+// always present when the store is — it costs one mutex acquisition per
+// store op and stays closed forever on a healthy disk — while the
+// injector only exists for an active -faults spec, keeping the
+// fault-free file I/O path hook-free. A failed open degrades to a cold
+// run with a warning, matching the cache's best-effort contract.
+func openStoreChain(cachedir string, opts diskcache.Options, spec faults.Spec, stderr io.Writer) storeChain {
+	in := faults.NewInjector(spec)
+	if in != nil {
+		opts.Hooks = diskcache.Hooks{WrapPut: in.WrapPut, WrapGet: in.WrapGet}
+	}
+	disk, err := diskcache.Open(cachedir, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "mergescale: disk cache disabled: %v\n", err)
+		return storeChain{}
+	}
+	var es faults.ErrStore = disk
+	if in != nil {
+		es = faults.NewStore(es, in)
+	}
+	return storeChain{disk: disk, injector: in, breaker: faults.NewBreaker(es, faults.BreakerOptions{})}
 }
 
 // render drives the experiment pipeline into renderer, either streaming
@@ -344,6 +406,7 @@ type serveConfig struct {
 	cachettl time.Duration
 	pinfile  string
 	nocache  bool
+	faults   faults.Spec
 }
 
 // runServe boots the HTTP front end over a shared engine + disk cache and
@@ -359,6 +422,8 @@ func runServe(args []string, cfg serveConfig, stderr io.Writer) int {
 	rateburst := fs.Int("rateburst", 0, "rate-limiter burst size (0 = ceil(ratelimit), min 1)")
 	maxstreams := fs.Int("maxstreams", 0, "max concurrently executing /run streams; excess requests get 503 (0 = unlimited)")
 	pincap := fs.Int("pincap", 0, "max disk-cache keys sweep clients may pin in aggregate; 0 ignores \"pin\":true requests")
+	reqtimeout := fs.Duration("reqtimeout", 0, "per-request deadline for /run and /sweep; expiry gets 503 before the first byte, a chunked abort after (0 = none)")
+	draintimeout := fs.Duration("draintimeout", serve.DefaultDrainTimeout, "graceful-shutdown bound: how long in-flight responses get to flush after SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -373,27 +438,33 @@ func runServe(args []string, cfg serveConfig, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mergescale serve: -ratelimit, -rateburst, -maxstreams and -pincap must be >= 0\n")
 		return 2
 	}
+	if *reqtimeout < 0 || *draintimeout <= 0 {
+		fmt.Fprintf(stderr, "mergescale serve: -reqtimeout must be >= 0 and -draintimeout > 0\n")
+		return 2
+	}
 
+	logger := log.New(stderr, "mergescale: ", 0)
 	engCfg := engine.Config{Workers: cfg.workers, DisableCache: cfg.nocache}
-	var store *diskcache.Store
+	var chain storeChain
 	if cfg.cachedir != "" && !cfg.nocache {
-		s, err := diskcache.Open(cfg.cachedir, diskcache.Options{TTL: cfg.cachettl, PinFile: cfg.pinfile})
-		if err != nil {
-			fmt.Fprintf(stderr, "mergescale: disk cache disabled: %v\n", err)
-		} else {
-			store = s
-			engCfg.Store = s
-		}
+		chain = openStoreChain(cfg.cachedir,
+			diskcache.Options{TTL: cfg.cachettl, PinFile: cfg.pinfile, Log: logger},
+			cfg.faults, stderr)
+		engCfg.Store = chain.store()
 	}
 	srv := &serve.Server{
-		Engine:     engine.New(engCfg),
-		Store:      store,
-		Opt:        experiments.Options{Quick: cfg.quick, UseDuration: cfg.duration},
-		Log:        log.New(stderr, "mergescale: ", 0),
-		RateLimit:  *ratelimit,
-		RateBurst:  *rateburst,
-		MaxStreams: *maxstreams,
-		PinCap:     *pincap,
+		Engine:       engine.New(engCfg),
+		Store:        chain.disk,
+		Breaker:      chain.breaker,
+		Injector:     chain.injector,
+		Opt:          experiments.Options{Quick: cfg.quick, UseDuration: cfg.duration},
+		Log:          logger,
+		RateLimit:    *ratelimit,
+		RateBurst:    *rateburst,
+		MaxStreams:   *maxstreams,
+		PinCap:       *pincap,
+		ReqTimeout:   *reqtimeout,
+		DrainTimeout: *draintimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -410,16 +481,28 @@ func runServe(args []string, cfg serveConfig, stderr io.Writer) int {
 
 // printStats reports memory-cache and disk-cache traffic separately, so
 // "the second run was fast" is inspectable: a warm disk run shows zero
-// executed jobs and only disk hits.
-func printStats(stderr io.Writer, eng *engine.Engine, store *diskcache.Store) {
+// executed jobs and only disk hits. Failure counters and the fault line
+// only print when non-zero / armed, so healthy output is unchanged.
+func printStats(stderr io.Writer, eng *engine.Engine, chain storeChain) {
 	st := eng.Stats()
 	fmt.Fprintf(stderr, "engine: %d workers, %d executed (%d inline), memory cache %d hits / %d misses\n",
 		eng.Workers(), st.Executed, st.Inline, st.Hits, st.Misses)
-	if store == nil {
+	if chain.disk == nil {
 		return
 	}
-	ds := store.Stats()
-	entries, bytes := store.Size()
-	fmt.Fprintf(stderr, "disk: %d hits / %d misses, %d writes (%d skipped), %d evictions, %d expired, %d dropped, %d entries / %d bytes in %s\n",
-		st.StoreHits, st.StoreMisses, ds.Puts, ds.PutSkips, ds.Evictions, ds.Expired, ds.Dropped, entries, bytes, store.Dir())
+	ds := chain.disk.Stats()
+	entries, bytes := chain.disk.Size()
+	errs := ""
+	if ds.WriteErrs > 0 || ds.PinSaveErrs > 0 {
+		errs = fmt.Sprintf(", %d write errors, %d pin-save errors", ds.WriteErrs, ds.PinSaveErrs)
+	}
+	fmt.Fprintf(stderr, "disk: %d hits / %d misses, %d writes (%d skipped)%s, %d evictions, %d expired, %d dropped, %d entries / %d bytes in %s\n",
+		st.StoreHits, st.StoreMisses, ds.Puts, ds.PutSkips, errs, ds.Evictions, ds.Expired, ds.Dropped, entries, bytes, chain.disk.Dir())
+	if chain.injector != nil {
+		snap := chain.breaker.Snapshot()
+		spec := chain.injector.Spec()
+		fmt.Fprintf(stderr, "faults: %d injected (%s), breaker %s (%d faults, %d short-circuited, %d trips)\n",
+			chain.injector.InjectedTotal(), spec.String(),
+			snap.State, snap.Stats.Faults, snap.Stats.ShortCircuited, snap.Stats.Opened)
+	}
 }

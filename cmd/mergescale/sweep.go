@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"os/signal"
 	"syscall"
@@ -14,6 +15,7 @@ import (
 	"mergescale/internal/engine"
 	"mergescale/internal/engine/diskcache"
 	"mergescale/internal/experiments"
+	"mergescale/internal/faults"
 	"mergescale/internal/report"
 )
 
@@ -34,19 +36,20 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mergescale sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		gridPath = fs.String("grid", "-", "JSON grid file (apps × budgets × rs); - reads stdin")
-		format   = fs.String("format", "text", "output format: text | markdown | json | csv")
-		outPath  = fs.String("out", "", "write rendered output to this file instead of stdout")
-		workers  = fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial)")
-		cachedir = fs.String("cachedir", "", "persist per-point results to this directory across runs")
-		cachettl = fs.Duration("cachettl", 0, "expire disk-cache entries older than this (0 = never)")
-		nocache  = fs.Bool("nocache", false, "disable the engine result cache (memory and disk)")
-		pinfile  = fs.String("pinfile", "", "persist the disk cache's pin set to this file (requires -cachedir)")
-		stats    = fs.Bool("stats", false, "print engine cache/worker statistics to stderr")
-		timing   = fs.Bool("timing", false, "print time-to-first-row and total wall time to stderr")
+		gridPath  = fs.String("grid", "-", "JSON grid file (apps × budgets × rs); - reads stdin")
+		format    = fs.String("format", "text", "output format: text | markdown | json | csv")
+		outPath   = fs.String("out", "", "write rendered output to this file instead of stdout")
+		workers   = fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS, 1 = serial)")
+		cachedir  = fs.String("cachedir", "", "persist per-point results to this directory across runs")
+		cachettl  = fs.Duration("cachettl", 0, "expire disk-cache entries older than this (0 = never)")
+		nocache   = fs.Bool("nocache", false, "disable the engine result cache (memory and disk)")
+		pinfile   = fs.String("pinfile", "", "persist the disk cache's pin set to this file (requires -cachedir)")
+		faultSpec = fs.String("faults", "", "inject deterministic disk-store faults per this spec, e.g. seed=7,get.err=0.01 (requires -cachedir; see internal/faults)")
+		stats     = fs.Bool("stats", false, "print engine cache/worker statistics to stderr")
+		timing    = fs.Bool("timing", false, "print time-to-first-row and total wall time to stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mergescale sweep [-grid FILE|-] [-format F] [-out FILE] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] [-pinfile FILE] [-stats] [-timing]\n")
+		fmt.Fprintf(stderr, "usage: mergescale sweep [-grid FILE|-] [-format F] [-out FILE] [-workers N] [-cachedir DIR] [-cachettl D] [-nocache] [-pinfile FILE] [-faults SPEC] [-stats] [-timing]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +72,15 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 	}
 	if *pinfile != "" && *cachedir == "" {
 		fmt.Fprintf(stderr, "mergescale sweep: -pinfile requires -cachedir (pins index disk-cache entries)\n")
+		return 2
+	}
+	spec, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "mergescale sweep: -faults: %v\n", err)
+		return 2
+	}
+	if spec.Active() && (*cachedir == "" || *nocache) {
+		fmt.Fprintf(stderr, "mergescale sweep: -faults requires -cachedir (and no -nocache): faults inject into the disk store\n")
 		return 2
 	}
 
@@ -121,15 +133,12 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 	defer stop()
 
 	cfg := engine.Config{Workers: *workers, DisableCache: *nocache}
-	var store *diskcache.Store
+	var chain storeChain
 	if *cachedir != "" && !*nocache {
-		s, err := diskcache.Open(*cachedir, diskcache.Options{TTL: *cachettl, PinFile: *pinfile})
-		if err != nil {
-			fmt.Fprintf(stderr, "mergescale sweep: disk cache disabled: %v\n", err)
-		} else {
-			store = s
-			cfg.Store = s
-		}
+		chain = openStoreChain(*cachedir,
+			diskcache.Options{TTL: *cachettl, PinFile: *pinfile, Log: log.New(stderr, "mergescale sweep: ", 0)},
+			spec, stderr)
+		cfg.Store = chain.store()
 	}
 	eng := engine.New(cfg)
 
@@ -138,8 +147,8 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 	// engine's Put falls. Unlike the server, the CLI honors the pin flag
 	// unconditionally — the operator running it owns the cache — and
 	// PinAll records the whole set with a single pin-file write.
-	if plan.Pin && store != nil {
-		store.PinAll(plan.Keys())
+	if plan.Pin && chain.disk != nil {
+		chain.disk.PinAll(plan.Keys())
 	}
 
 	start := time.Now()
@@ -180,7 +189,7 @@ func runSweep(args []string, stdout, stderr io.Writer) int {
 			plan.Points(), rows, firstRow.Seconds(), total.Seconds())
 	}
 	if *stats {
-		printStats(stderr, eng, store)
+		printStats(stderr, eng, chain)
 	}
 	return code
 }

@@ -41,6 +41,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"hash/fnv"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -95,17 +96,45 @@ type Options struct {
 	// the path points, typically next to the cache directory, so several
 	// stores may share a directory while keeping distinct pin sets.
 	PinFile string
+	// Log, when non-nil, receives one line the first time each failure
+	// kind occurs (envelope write, pin-file save, unencodable value) —
+	// once per kind, not per operation, so a dead disk degrades quietly
+	// instead of flooding stderr at request rate. The counters in Stats
+	// carry the ongoing tally.
+	Log *log.Logger
+	// Hooks, when set, intercept entry-file I/O. They exist for
+	// deterministic fault injection (internal/faults wires them) and are
+	// no-ops when nil.
+	Hooks Hooks
+}
+
+// Hooks intercepts the store's entry-file I/O. Both funcs may return
+// the input unchanged (pass-through), mutated bytes (corruption — the
+// store writes or decodes whatever comes back, exercising the envelope
+// decoder's self-healing), or an error (the operation fails as an
+// infrastructure fault: an ENOSPC-style write failure, an unreadable
+// file). Hooks never see keys' values or alter which key an operation
+// targets.
+type Hooks struct {
+	// WrapPut runs on the encoded envelope bytes before the temp-file
+	// write. An error fails the Put (counted in Stats.WriteErrs).
+	WrapPut func(key string, encoded []byte) ([]byte, error)
+	// WrapGet runs on the raw bytes read for an entry before decoding.
+	// An error fails the Get as an infrastructure fault, not a miss.
+	WrapGet func(key string, raw []byte) ([]byte, error)
 }
 
 // Stats counts store traffic since Open. Lookup hit/miss counts live in
 // engine.Stats (StoreHits/StoreMisses); these are the store's own write-
 // and health-side counters.
 type Stats struct {
-	Puts      uint64 // entries written
-	PutSkips  uint64 // writes skipped (unencodable value or I/O failure)
-	Evictions uint64 // entries removed to stay under the byte cap
-	Expired   uint64 // entries past their TTL removed by Get
-	Dropped   uint64 // corrupt/stale/mismatched entries removed by Get
+	Puts        uint64 // entries written
+	PutSkips    uint64 // writes skipped (unencodable value — a value problem, not a store fault)
+	WriteErrs   uint64 // envelope writes that failed on file I/O (temp create/write/close/rename)
+	PinSaveErrs uint64 // pin-file rewrites that failed on file I/O (in-memory pins kept)
+	Evictions   uint64 // entries removed to stay under the byte cap
+	Expired     uint64 // entries past their TTL removed by Get
+	Dropped     uint64 // corrupt/stale/mismatched entries removed by Get
 }
 
 // entry is the in-memory index record for one entry file.
@@ -120,6 +149,15 @@ type Store struct {
 	dir string
 	max int64
 	ttl time.Duration
+
+	log   *log.Logger
+	hooks Hooks
+	// log-once guards: a failing disk fails at request rate, but one
+	// line per failure kind is all an operator needs — Stats carries the
+	// count.
+	logEncodeOnce sync.Once
+	logWriteOnce  sync.Once
+	logPinOnce    sync.Once
 
 	mu      sync.Mutex
 	entries map[string]entry // file name -> info
@@ -150,7 +188,8 @@ func Open(dir string, opts Options) (*Store, error) {
 		max = DefaultMaxBytes
 	}
 	s := &Store{dir: dir, max: max, ttl: opts.TTL, entries: map[string]entry{},
-		pinned: map[string]bool{}, pinKeys: map[string]bool{}, pinFile: opts.PinFile}
+		pinned: map[string]bool{}, pinKeys: map[string]bool{}, pinFile: opts.PinFile,
+		log: opts.Log, hooks: opts.Hooks}
 	if err := s.loadPinFile(); err != nil {
 		return nil, err
 	}
@@ -215,17 +254,36 @@ func fileName(key string) string {
 // or key-mismatched entries all read as misses, and the broken ones are
 // unlinked so the next Put rewrites them.
 func (s *Store) Get(key string) (any, bool) {
+	v, ok, _ := s.GetE(key)
+	return v, ok
+}
+
+// GetE is Get with the infrastructure-fault channel exposed: a missing
+// entry is (nil, false, nil), but an unreadable file or a failing read
+// hook is (nil, false, err) — the signal the circuit breaker in
+// internal/faults trips on. Corrupt, stale, or mismatched entries stay
+// plain misses: they are dropped and self-heal on the next Put, which
+// is the store working as designed, not failing.
+func (s *Store) GetE(key string) (any, bool, error) {
 	name := fileName(key)
 	path := filepath.Join(s.dir, name)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, false
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	if s.hooks.WrapGet != nil {
+		if data, err = s.hooks.WrapGet(key, data); err != nil {
+			return nil, false, err
+		}
 	}
 	var env envelope
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil ||
 		env.Version != envelopeVersion || env.Key != key {
 		s.drop(name, &s.stats.Dropped)
-		return nil, false
+		return nil, false, nil
 	}
 	if s.ttl > 0 && time.Since(time.Unix(0, env.WrittenAt)) > s.ttl {
 		// Past its lifetime: a miss that self-heals — the slot is freed now
@@ -233,7 +291,7 @@ func (s *Store) Get(key string) (any, bool) {
 		// does not rescue expired entries; it only shields live ones from
 		// LRU eviction.
 		s.drop(name, &s.stats.Expired)
-		return nil, false
+		return nil, false, nil
 	}
 	now := time.Now()
 	_ = os.Chtimes(path, now, now) // best-effort LRU recency bump
@@ -243,7 +301,7 @@ func (s *Store) Get(key string) (any, bool) {
 		s.entries[name] = e
 	}
 	s.mu.Unlock()
-	return env.Value, true
+	return env.Value, true, nil
 }
 
 // drop unlinks a dead entry (broken or expired), forgets it, and bumps the
@@ -390,7 +448,7 @@ func (s *Store) pinSnapshotLocked(changed bool) ([]string, uint64) {
 // disk is skipped, never renamed over it. Because map mutation and
 // snapshot share one lock hold, the highest generation always reflects
 // the final in-memory set. Like Put, persistence is best-effort — an I/O
-// failure keeps the in-memory pins and is counted as a PutSkip.
+// failure keeps the in-memory pins and is counted as a PinSaveErr.
 func (s *Store) writePinFile(keys []string, gen uint64) {
 	if gen == 0 {
 		return
@@ -408,26 +466,38 @@ func (s *Store) writePinFile(keys []string, gen uint64) {
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(s.pinFile), "pins-*"+tmpSuffix)
 	if err != nil {
-		s.skip()
+		s.pinSaveFail(err)
 		return
 	}
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
 		tmp.Close()
 		_ = os.Remove(tmp.Name())
-		s.skip()
+		s.pinSaveFail(err)
 		return
 	}
 	if err := tmp.Close(); err != nil {
 		_ = os.Remove(tmp.Name())
-		s.skip()
+		s.pinSaveFail(err)
 		return
 	}
 	if err := os.Rename(tmp.Name(), s.pinFile); err != nil {
 		_ = os.Remove(tmp.Name())
-		s.skip()
+		s.pinSaveFail(err)
 		return
 	}
 	s.pinSavedGen = gen
+}
+
+// pinSaveFail records one pin-file rewrite failure: counted always,
+// logged once. The in-memory pin set is untouched, so pins keep working
+// for this process and only restart survival is at risk.
+func (s *Store) pinSaveFail(err error) {
+	s.mu.Lock()
+	s.stats.PinSaveErrs++
+	s.mu.Unlock()
+	s.logPinOnce.Do(func() {
+		s.logf("diskcache: pin file save failed (in-memory pins kept; further failures counted silently): %v", err)
+	})
 }
 
 // Pinned reports whether key is currently pinned.
@@ -441,37 +511,50 @@ func (s *Store) Pinned(key string) bool {
 // write-rename, then evicts least-recently-used entries until the store is
 // back under its byte cap. Failures are recorded in Stats and otherwise
 // silent — the cache is best-effort by contract.
-func (s *Store) Put(key string, val any) {
+func (s *Store) Put(key string, val any) { _ = s.PutE(key, val) }
+
+// PutE is Put with the infrastructure-fault channel exposed: file-I/O
+// failures (temp create/write/close/rename, or a failing write hook)
+// are counted in Stats.WriteErrs and returned — the breaker's trip
+// signal. An unencodable value returns nil: that is a property of the
+// value, not of the disk, and is counted as a PutSkip instead.
+func (s *Store) PutE(key string, val any) error {
 	var buf bytes.Buffer
 	env := envelope{Version: envelopeVersion, Key: key, WrittenAt: time.Now().UnixNano(), Value: val}
 	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
-		s.skip()
-		return
+		s.mu.Lock()
+		s.stats.PutSkips++
+		s.mu.Unlock()
+		s.logEncodeOnce.Do(func() { s.logf("diskcache: put skipped (unencodable value; further skips counted silently): %v", err) })
+		return nil
+	}
+	data := buf.Bytes()
+	if s.hooks.WrapPut != nil {
+		var err error
+		if data, err = s.hooks.WrapPut(key, data); err != nil {
+			return s.writeFail(err)
+		}
 	}
 	name := fileName(key)
 	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*"+tmpSuffix)
 	if err != nil {
-		s.skip()
-		return
+		return s.writeFail(err)
 	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		_ = os.Remove(tmp.Name())
-		s.skip()
-		return
+		return s.writeFail(err)
 	}
 	if err := tmp.Close(); err != nil {
 		_ = os.Remove(tmp.Name())
-		s.skip()
-		return
+		return s.writeFail(err)
 	}
 	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
 		_ = os.Remove(tmp.Name())
-		s.skip()
-		return
+		return s.writeFail(err)
 	}
 
-	size := int64(buf.Len())
+	size := int64(len(data))
 	s.mu.Lock()
 	if old, ok := s.entries[name]; ok {
 		s.total -= old.size
@@ -484,12 +567,24 @@ func (s *Store) Put(key string, val any) {
 	for _, v := range victims {
 		_ = os.Remove(filepath.Join(s.dir, v))
 	}
+	return nil
 }
 
-func (s *Store) skip() {
+// writeFail records one envelope write failure: counted always, logged
+// once.
+func (s *Store) writeFail(err error) error {
 	s.mu.Lock()
-	s.stats.PutSkips++
+	s.stats.WriteErrs++
 	s.mu.Unlock()
+	s.logWriteOnce.Do(func() { s.logf("diskcache: envelope write failed (further failures counted silently): %v", err) })
+	return err
+}
+
+// logf emits one line to the configured logger, discarding when none.
+func (s *Store) logf(format string, args ...any) {
+	if s.log != nil {
+		s.log.Printf(format, args...)
+	}
 }
 
 // evictLocked removes index records oldest-first (mtime, then name for a

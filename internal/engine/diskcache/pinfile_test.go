@@ -232,3 +232,40 @@ func TestConcurrentPinsConvergeOnDisk(t *testing.T) {
 		t.Fatalf("reopened PinnedCount = %d, want %d", n, 8*16)
 	}
 }
+
+// TestPinFileKilledMidRewrite models a process killed between the temp
+// write and the rename: the abandoned pins-*.tmp must never shadow the
+// real pin file, Open must succeed, and the next pin-set change must
+// rewrite the real file cleanly.
+func TestPinFileKilledMidRewrite(t *testing.T) {
+	dir := t.TempDir()
+	pf := pinPath(t)
+	s := open(t, dir, Options{PinFile: pf})
+	s.Pin("alive")
+
+	// The killed writer's leftover: a half-finished snapshot that claims
+	// a different pin set, sitting where writePinFile stages temp files.
+	stale := filepath.Join(filepath.Dir(pf), "pins-stale"+tmpSuffix)
+	if err := os.WriteFile(stale, []byte("ghost\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, Options{PinFile: pf})
+	if !r.Pinned("alive") {
+		t.Fatal("real pin file not honored with stale temp present")
+	}
+	if r.Pinned("ghost") {
+		t.Fatal("stale temp file shadowed the real pin set")
+	}
+	if st := r.Stats(); st.PinSaveErrs != 0 {
+		t.Fatalf("reopen under stale temp counted errors: %+v", st)
+	}
+
+	// The next change rewrites the real file; a further reopen sees it.
+	r.Pin("later")
+	rr := open(t, dir, Options{PinFile: pf})
+	if !rr.Pinned("alive") || !rr.Pinned("later") || rr.Pinned("ghost") {
+		t.Fatalf("post-crash rewrite wrong: alive=%v later=%v ghost=%v",
+			rr.Pinned("alive"), rr.Pinned("later"), rr.Pinned("ghost"))
+	}
+}

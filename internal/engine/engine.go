@@ -224,7 +224,15 @@ func (e *Engine) exec(ctx context.Context, job Job) Result {
 				e.storeMisses.Add(1)
 			}
 
-			entry.val, entry.err = e.invoke(ctx, job)
+			// The store lookup may have blocked (slow disk, injected
+			// latency); re-check the deadline before paying for the
+			// computation. The cancellation path below evicts the entry so
+			// waiters retry, same as a cancelled invoke.
+			if err := ctx.Err(); err != nil {
+				entry.err = err
+			} else {
+				entry.val, entry.err = e.invoke(ctx, job)
+			}
 			if isCancellation(entry.err) {
 				// Do not poison the cache with a cancellation: drop the
 				// entry (before marking it complete, so awakened waiters

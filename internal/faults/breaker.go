@@ -1,0 +1,207 @@
+package faults
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the store is healthy; every operation passes through.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe operation
+	// is allowed through to test recovery while everything else still
+	// short-circuits.
+	BreakerHalfOpen
+	// BreakerOpen: too many consecutive faults; every operation
+	// short-circuits (gets read as misses, puts are dropped) so the
+	// engine runs memory + compute only instead of queueing on a dead
+	// disk.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+const (
+	// DefaultBreakerThreshold is the consecutive-fault count that trips
+	// the breaker open. Consecutive, not cumulative: a store that faults
+	// one op in a thousand forever is degraded but usable — the LRU and
+	// self-healing absorb it — while five faults in a row mean the disk
+	// is gone and every further touch is wasted latency.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerCooldown is how long an open breaker waits before
+	// letting a half-open probe test recovery.
+	DefaultBreakerCooldown = 5 * time.Second
+)
+
+// BreakerOptions tunes NewBreaker; zero values take the defaults above.
+type BreakerOptions struct {
+	Threshold int
+	Cooldown  time.Duration
+	// Now is an injectable clock for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// BreakerStats counts breaker traffic since creation. Transition
+// counters record entries into each state, so `Opened` is the number of
+// trips (first trip plus every failed half-open probe).
+type BreakerStats struct {
+	Faults         uint64 `json:"faults"`         // store operations that returned an infrastructure error
+	ShortCircuited uint64 `json:"shortCircuited"` // operations answered locally while open (the degradation at work)
+	Opened         uint64 `json:"opened"`         // transitions into open
+	HalfOpened     uint64 `json:"halfOpened"`     // transitions into half-open (probe windows)
+	Closed         uint64 `json:"closed"`         // transitions back to closed (recoveries)
+}
+
+// BreakerSnapshot is the breaker's externally visible state, served by
+// /readyz and /stats.
+type BreakerSnapshot struct {
+	State             BreakerState
+	ConsecutiveFaults int
+	Stats             BreakerStats
+}
+
+// Breaker wraps an ErrStore with a consecutive-fault circuit breaker,
+// exposing the engine.Store shape. Closed, it forwards operations and
+// watches for infrastructure errors; Threshold consecutive errors trip
+// it open, after which gets read as instant misses and puts are
+// dropped — the engine degrades to memory + compute, still serving
+// byte-identical results, just without disk reuse. After Cooldown one
+// operation is admitted as a half-open probe: success closes the
+// breaker (and the store quietly resumes), failure reopens it for
+// another cooldown. All state transitions are operation-driven — an
+// idle breaker stays wherever it is, which keeps the breaker free of
+// background goroutines.
+type Breaker struct {
+	inner     ErrStore
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	consec   int
+	openedAt time.Time
+	probing  bool
+	stats    BreakerStats
+}
+
+// NewBreaker wraps inner with a breaker tuned by opts.
+func NewBreaker(inner ErrStore, opts BreakerOptions) *Breaker {
+	if opts.Threshold <= 0 {
+		opts.Threshold = DefaultBreakerThreshold
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = DefaultBreakerCooldown
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Breaker{inner: inner, threshold: opts.Threshold, cooldown: opts.Cooldown, now: opts.Now}
+}
+
+// admit decides whether one operation may touch the store, and whether
+// it is the half-open probe. Refused operations count as
+// short-circuited.
+func (b *Breaker) admit() (allow, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			b.stats.HalfOpened++
+			b.probing = true
+			return true, true
+		}
+	case BreakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			return true, true
+		}
+	}
+	b.stats.ShortCircuited++
+	return false, false
+}
+
+// report records one admitted operation's outcome and drives the state
+// machine: any error in half-open reopens immediately; Threshold
+// consecutive errors trip a closed breaker; success resets the streak
+// and closes a half-open breaker.
+func (b *Breaker) report(probe bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+	}
+	if err != nil {
+		b.stats.Faults++
+		b.consec++
+		if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.consec >= b.threshold) {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.stats.Opened++
+		}
+		return
+	}
+	b.consec = 0
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+		b.stats.Closed++
+	}
+}
+
+// Get implements engine.Store: a short-circuited or faulted read is a
+// miss, so the engine recomputes — slower, never wrong.
+func (b *Breaker) Get(key string) (any, bool) {
+	allow, probe := b.admit()
+	if !allow {
+		return nil, false
+	}
+	v, ok, err := b.inner.GetE(key)
+	b.report(probe, err)
+	if err != nil {
+		return nil, false
+	}
+	return v, ok
+}
+
+// Put implements engine.Store: short-circuited writes are dropped (the
+// result lives on in the memory cache; the disk entry reappears on the
+// first Put after recovery).
+func (b *Breaker) Put(key string, val any) {
+	allow, probe := b.admit()
+	if !allow {
+		return
+	}
+	b.report(probe, b.inner.PutE(key, val))
+}
+
+// State returns the current position without advancing the machine.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Snapshot returns the observable state for /readyz, /stats and
+// /metrics.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{State: b.state, ConsecutiveFaults: b.consec, Stats: b.stats}
+}

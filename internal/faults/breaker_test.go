@@ -1,0 +1,158 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manual clock for cooldown-driven transitions.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func breakerOn(s ErrStore, c *fakeClock) *Breaker {
+	return NewBreaker(s, BreakerOptions{Threshold: 3, Cooldown: time.Minute, Now: c.now})
+}
+
+var errDisk = errors.New("disk gone")
+
+func TestBreakerStaysClosedOnScatteredFaults(t *testing.T) {
+	inner := newFakeStore()
+	b := breakerOn(inner, newFakeClock())
+	// fault, success, fault, success... never reaches 3 consecutive.
+	for i := 0; i < 10; i++ {
+		inner.setFail(errDisk)
+		b.Get("k")
+		inner.setFail(nil)
+		b.Get("k")
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state = %s, want closed", st)
+	}
+	snap := b.Snapshot()
+	if snap.Stats.Faults != 10 || snap.Stats.Opened != 0 {
+		t.Fatalf("stats = %+v", snap.Stats)
+	}
+}
+
+func TestBreakerTripsOnConsecutiveFaults(t *testing.T) {
+	inner := newFakeStore()
+	clock := newFakeClock()
+	b := breakerOn(inner, clock)
+	inner.setFail(errDisk)
+	for i := 0; i < 3; i++ {
+		if v, ok := b.Get("k"); v != nil || ok {
+			t.Fatalf("faulted get %d = (%v, %v), want miss", i, v, ok)
+		}
+	}
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after threshold faults = %s, want open", st)
+	}
+
+	// Open: operations short-circuit without touching the store.
+	gets, _ := inner.counts()
+	b.Get("k")
+	b.Put("k", 1)
+	if g, p := inner.counts(); g != gets || p != 0 {
+		t.Fatalf("open breaker touched store: %d gets (was %d), %d puts", g, gets, p)
+	}
+	snap := b.Snapshot()
+	if snap.Stats.ShortCircuited != 2 || snap.Stats.Opened != 1 {
+		t.Fatalf("stats = %+v", snap.Stats)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	inner := newFakeStore()
+	clock := newFakeClock()
+	b := breakerOn(inner, clock)
+	inner.setFail(errDisk)
+	for i := 0; i < 3; i++ {
+		b.Get("k")
+	}
+	inner.setFail(nil)
+	inner.data["k"] = "v"
+
+	// Before the cooldown: still short-circuiting even though the store
+	// is healthy again.
+	if _, ok := b.Get("k"); ok {
+		t.Fatal("open breaker served a hit")
+	}
+
+	clock.advance(time.Minute)
+	// The first op after cooldown is the probe; it succeeds and closes.
+	if v, ok := b.Get("k"); !ok || v != "v" {
+		t.Fatalf("probe get = (%v, %v), want hit", v, ok)
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %s, want closed", st)
+	}
+	snap := b.Snapshot()
+	if snap.Stats.HalfOpened != 1 || snap.Stats.Closed != 1 {
+		t.Fatalf("stats = %+v", snap.Stats)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	inner := newFakeStore()
+	clock := newFakeClock()
+	b := breakerOn(inner, clock)
+	inner.setFail(errDisk)
+	for i := 0; i < 3; i++ {
+		b.Get("k")
+	}
+	clock.advance(time.Minute)
+	b.Get("k") // probe, still failing -> reopen
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %s, want open", st)
+	}
+	snap := b.Snapshot()
+	if snap.Stats.Opened != 2 || snap.Stats.HalfOpened != 1 {
+		t.Fatalf("stats = %+v", snap.Stats)
+	}
+
+	// The reopened cooldown restarts from the probe failure.
+	if _, ok := b.Get("k"); ok {
+		t.Fatal("reopened breaker admitted an op inside the new cooldown")
+	}
+	inner.setFail(nil)
+	clock.advance(time.Minute)
+	b.Put("k", "v") // probe via Put this time; success closes
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after recovered put probe = %s, want closed", st)
+	}
+	if v, ok := b.Get("k"); !ok || v != "v" {
+		t.Fatalf("closed breaker get = (%v, %v)", v, ok)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: while the probe is in flight every
+// other operation short-circuits — exactly one op tests the disk.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	inner := newFakeStore()
+	clock := newFakeClock()
+	b := breakerOn(inner, clock)
+	inner.setFail(errDisk)
+	for i := 0; i < 3; i++ {
+		b.Get("k")
+	}
+	clock.advance(time.Minute)
+
+	allow, probe := b.admit()
+	if !allow || !probe {
+		t.Fatalf("first post-cooldown admit = (%v, %v), want probe", allow, probe)
+	}
+	// Probe in flight: the machine is half-open and admits nothing else.
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state during probe = %s, want half-open", st)
+	}
+	if allow, _ := b.admit(); allow {
+		t.Fatal("second op admitted while probe in flight")
+	}
+	b.report(true, nil)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after probe success = %s, want closed", st)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 	"net/url"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -106,6 +108,17 @@ type Config struct {
 	// SweepTarget; when set and Targets were discovered, SweepTarget is
 	// appended to the discovered ids so sweeps join the mix.
 	SweepGrid []byte
+	// RetryMax, when > 0, arms retry of retryable failures. Backpressure
+	// responses (429, 503) carry an explicit try-again from the server
+	// and get up to RetryMax retries; other 5xx and transport failures
+	// are as likely a bug as a blip and get (RetryMax+1)/2. Waits grow
+	// exponentially from RetryBase with deterministic jitter, raised to
+	// the server's Retry-After when it names a longer delay. Reported
+	// latencies are per attempt (the final one), never including backoff
+	// waits — retry must not poison the latency buckets.
+	RetryMax int
+	// RetryBase is the first retry's backoff; <= 0 means 100ms.
+	RetryBase time.Duration
 	// Client issues the requests; nil means a fresh http.Client with no
 	// timeout (streams are long; cancellation comes from ctx).
 	Client *http.Client
@@ -137,10 +150,18 @@ type Result struct {
 	Seed        int64    `json:"seed"`
 	Alpha       float64  `json:"alpha,omitempty"`
 	Rate        float64  `json:"rate,omitempty"`
+	RetryMax    int      `json:"retry_max,omitempty"`
 
-	Requests        int            `json:"requests"`
-	Errors          int            `json:"errors"`
-	StatusCounts    map[string]int `json:"status_counts"`
+	Requests     int            `json:"requests"`
+	Errors       int            `json:"errors"`
+	StatusCounts map[string]int `json:"status_counts"`
+	// Retried counts retries issued per class (throttle, unavailable,
+	// server, transport); Exhausted counts requests whose final attempt
+	// still failed retryably after the class's budget ran out. Both are
+	// empty — and absent from the JSON — when retries are off or never
+	// fired, so a healthy run's report bytes are unchanged.
+	Retried         map[string]int `json:"retried,omitempty"`
+	Exhausted       map[string]int `json:"exhausted,omitempty"`
 	DurationSeconds float64        `json:"duration_seconds"`
 	ReqPerSec       float64        `json:"req_per_sec"`
 	BodyBytes       int64          `json:"body_bytes"`
@@ -214,13 +235,131 @@ func (cfg Config) picker() (func() Request, error) {
 	}, nil
 }
 
-// sample is one completed request's measurement.
+// sample is one completed request's measurement. With retries armed it
+// describes the final attempt, carrying the whole request's retry tally.
 type sample struct {
 	latency time.Duration
 	bytes   int64
 	status  int
 	warm    bool
 	err     error
+	// retryAfter is the server's Retry-After suggestion, zero when absent.
+	retryAfter time.Duration
+	// retried counts retries issued for this request, per class; nil when
+	// none fired.
+	retried map[string]int
+	// exhausted names the class whose budget ran out with the request
+	// still failing; "" when the request succeeded or was never retryable.
+	exhausted string
+}
+
+// Retry classes: the category decides how persistent the client is.
+const (
+	classThrottle    = "throttle"    // 429: the server asked us to slow down
+	classUnavailable = "unavailable" // 503: load shedding or a degraded replica
+	classServer      = "server"      // other 5xx: maybe transient, maybe a bug
+	classTransport   = "transport"   // connection failure or truncated body
+)
+
+// retryClass categorizes one attempt's outcome; "" means not retryable
+// (success, or a 4xx the request itself caused, which a retry would
+// only repeat).
+func retryClass(s sample) string {
+	if s.err != nil {
+		return classTransport
+	}
+	switch {
+	case s.status == http.StatusTooManyRequests:
+		return classThrottle
+	case s.status == http.StatusServiceUnavailable:
+		return classUnavailable
+	case s.status >= 500:
+		return classServer
+	}
+	return ""
+}
+
+// retryBudget caps retries per class: explicit backpressure gets the
+// full budget, everything else half (rounded up).
+func retryBudget(class string, max int) int {
+	if class == classThrottle || class == classUnavailable {
+		return max
+	}
+	return (max + 1) / 2
+}
+
+// maxRetryWait bounds a single backoff so a tall exponent or an
+// eccentric Retry-After cannot stall a worker for the rest of the run.
+const maxRetryWait = 5 * time.Second
+
+// retryJitter derives a deterministic factor in [0.5, 1.5) from the
+// request identity and attempt number: reruns of one trace back off
+// identically (no shared locked RNG), while concurrent retries of
+// different requests still spread instead of thundering together.
+func retryJitter(req Request, attempt int) float64 {
+	h := fnv.New64a()
+	io.WriteString(h, req.Target)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, req.Format)
+	fmt.Fprintf(h, "\x00%d", attempt)
+	return 0.5 + float64(h.Sum64()>>11)/(1<<53)
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header
+// (the only form the server emits); anything else reads as zero.
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// issue runs one trace element through the retry policy: retryable
+// failures back off exponentially from RetryBase with deterministic
+// jitter — raised to the server's Retry-After when it names a longer
+// wait — and re-issue, until the failing class's budget runs out. The
+// attempt counter is shared across classes (a request flapping between
+// 503 and connection resets is one failing request, not two fresh
+// budgets), and ctx cancellation stops the loop mid-wait.
+func issue(ctx context.Context, client *http.Client, base string, cfg Config, req Request) sample {
+	s := doRequest(ctx, client, base, cfg.SweepGrid, req)
+	if cfg.RetryMax <= 0 {
+		return s
+	}
+	baseWait := cfg.RetryBase
+	if baseWait <= 0 {
+		baseWait = 100 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		class := retryClass(s)
+		if class == "" || ctx.Err() != nil {
+			return s
+		}
+		if attempt >= retryBudget(class, cfg.RetryMax) {
+			s.exhausted = class
+			return s
+		}
+		wait := time.Duration(float64(baseWait) * math.Pow(2, float64(attempt)) * retryJitter(req, attempt))
+		if wait > maxRetryWait {
+			wait = maxRetryWait
+		}
+		if s.retryAfter > wait {
+			wait = s.retryAfter
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return s
+		}
+		retried := s.retried
+		if retried == nil {
+			retried = map[string]int{}
+		}
+		retried[class]++
+		s = doRequest(ctx, client, base, cfg.SweepGrid, req)
+		s.retried = retried
+	}
 }
 
 // DiscoverTargets fetches the experiment ids a server exposes, for use
@@ -290,6 +429,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Rate > 0 && cfg.Profile == Burst {
 		return nil, fmt.Errorf("load: open-loop rate is incompatible with the burst profile (burst owns its arrival shape)")
 	}
+	if cfg.RetryMax < 0 {
+		return nil, fmt.Errorf("load: retry max must be >= 0 (got %d)", cfg.RetryMax)
+	}
+	if cfg.RetryBase < 0 {
+		return nil, fmt.Errorf("load: retry base must be >= 0 (got %s)", cfg.RetryBase)
+	}
 	if len(cfg.Formats) == 0 {
 		cfg.Formats = []string{"text"}
 	}
@@ -357,7 +502,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for req := range requests {
-					s := doRequest(ctx, client, base, cfg.SweepGrid, req)
+					s := issue(ctx, client, base, cfg, req)
 					select {
 					case samples <- s:
 					case <-ctx.Done():
@@ -380,6 +525,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Seed:        cfg.Seed,
 		Alpha:       cfg.Alpha,
 		Rate:        cfg.Rate,
+		RetryMax:    cfg.RetryMax,
 	}
 	if cfg.Profile != PowerLaw {
 		res.Alpha = 0
@@ -390,6 +536,18 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		res.Requests++
 		ms := float64(s.latency) / float64(time.Millisecond)
 		all = append(all, ms)
+		for class, n := range s.retried {
+			if res.Retried == nil {
+				res.Retried = make(map[string]int)
+			}
+			res.Retried[class] += n
+		}
+		if s.exhausted != "" {
+			if res.Exhausted == nil {
+				res.Exhausted = make(map[string]int)
+			}
+			res.Exhausted[s.exhausted]++
+		}
 		if s.err != nil {
 			res.Errors++
 			res.StatusCounts["error"]++
@@ -446,7 +604,7 @@ func runOpenLoop(ctx context.Context, cfg Config, client *http.Client, base stri
 		inflight.Add(1)
 		go func(req Request) {
 			defer inflight.Done()
-			s := doRequest(ctx, client, base, cfg.SweepGrid, req)
+			s := issue(ctx, client, base, cfg, req)
 			select {
 			case samples <- s:
 			case <-ctx.Done():
@@ -482,7 +640,7 @@ func runBursts(ctx context.Context, cfg Config, client *http.Client, base string
 			go func(req Request) {
 				defer wave.Done()
 				defer func() { <-sem }()
-				s := doRequest(ctx, client, base, cfg.SweepGrid, req)
+				s := issue(ctx, client, base, cfg, req)
 				select {
 				case samples <- s:
 				case <-ctx.Done():
@@ -525,11 +683,12 @@ func doRequest(ctx context.Context, client *http.Client, base string, sweepGrid 
 	n, err := io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return sample{
-		latency: time.Since(t0),
-		bytes:   n,
-		status:  resp.StatusCode,
-		warm:    resp.Header.Get("X-Render-Cache") == "hit",
-		err:     err,
+		latency:    time.Since(t0),
+		bytes:      n,
+		status:     resp.StatusCode,
+		warm:       resp.Header.Get("X-Render-Cache") == "hit",
+		err:        err,
+		retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 	}
 }
 

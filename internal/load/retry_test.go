@@ -1,0 +1,265 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetryClass(t *testing.T) {
+	cases := []struct {
+		s    sample
+		want string
+	}{
+		{sample{status: 200}, ""},
+		{sample{status: 404}, ""},
+		{sample{status: 429}, classThrottle},
+		{sample{status: 503}, classUnavailable},
+		{sample{status: 500}, classServer},
+		{sample{status: 502}, classServer},
+		{sample{err: errors.New("refused")}, classTransport},
+	}
+	for _, c := range cases {
+		if got := retryClass(c.s); got != c.want {
+			t.Errorf("retryClass(status=%d err=%v) = %q, want %q", c.s.status, c.s.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryBudgetSplit(t *testing.T) {
+	for _, c := range []struct {
+		class string
+		max   int
+		want  int
+	}{
+		{classThrottle, 4, 4},
+		{classUnavailable, 4, 4},
+		{classServer, 4, 2},
+		{classTransport, 5, 3},
+	} {
+		if got := retryBudget(c.class, c.max); got != c.want {
+			t.Errorf("retryBudget(%s, %d) = %d, want %d", c.class, c.max, got, c.want)
+		}
+	}
+}
+
+func TestRetryJitterDeterministicAndBounded(t *testing.T) {
+	req := Request{Target: "all", Format: "text"}
+	for attempt := 0; attempt < 16; attempt++ {
+		j := retryJitter(req, attempt)
+		if j < 0.5 || j >= 1.5 {
+			t.Fatalf("jitter(%d) = %g, want [0.5, 1.5)", attempt, j)
+		}
+		if again := retryJitter(req, attempt); again != j {
+			t.Fatalf("jitter(%d) not deterministic: %g vs %g", attempt, j, again)
+		}
+	}
+	if retryJitter(req, 0) == retryJitter(req, 1) {
+		t.Error("jitter identical across attempts")
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for in, want := range map[string]time.Duration{
+		"2":                             2 * time.Second,
+		" 3 ":                           3 * time.Second,
+		"0":                             0,
+		"-1":                            0,
+		"":                              0,
+		"soon":                          0,
+		"1.5":                           0,
+		"Wed, 21 Oct 2026 07:28:00 GMT": 0,
+	} {
+		if got := parseRetryAfter(in); got != want {
+			t.Errorf("parseRetryAfter(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+// flakyHandler fails the first failures requests with status, then
+// serves 200.
+func flakyHandler(status int, failures int32) (http.Handler, *atomic.Int32) {
+	var calls atomic.Int32
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= failures {
+			if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "0")
+			}
+			http.Error(w, "flaky", status)
+			return
+		}
+		fmt.Fprint(w, "payload")
+	})
+	return h, &calls
+}
+
+// TestIssueRetriesUntilSuccess: a 503 that clears after two attempts
+// succeeds within the budget, with the retries tallied per class and no
+// exhaustion recorded.
+func TestIssueRetriesUntilSuccess(t *testing.T) {
+	h, calls := flakyHandler(http.StatusServiceUnavailable, 2)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	cfg := Config{RetryMax: 3, RetryBase: time.Millisecond}
+	s := issue(context.Background(), ts.Client(), ts.URL, cfg, Request{Target: "all", Format: "text"})
+	if s.err != nil || s.status != http.StatusOK {
+		t.Fatalf("final sample = status %d err %v, want 200", s.status, s.err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	if s.retried[classUnavailable] != 2 || s.exhausted != "" {
+		t.Fatalf("retried=%v exhausted=%q, want 2 unavailable retries", s.retried, s.exhausted)
+	}
+}
+
+// TestIssueExhaustsBudget: a permanently failing target stops after the
+// class budget and reports exhaustion with the final failed sample.
+func TestIssueExhaustsBudget(t *testing.T) {
+	h, calls := flakyHandler(http.StatusServiceUnavailable, 1<<30)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	cfg := Config{RetryMax: 2, RetryBase: time.Millisecond}
+	s := issue(context.Background(), ts.Client(), ts.URL, cfg, Request{Target: "all", Format: "text"})
+	if s.status != http.StatusServiceUnavailable {
+		t.Fatalf("final status = %d, want 503", s.status)
+	}
+	if calls.Load() != 3 { // initial attempt + RetryMax retries
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	if s.exhausted != classUnavailable || s.retried[classUnavailable] != 2 {
+		t.Fatalf("exhausted=%q retried=%v", s.exhausted, s.retried)
+	}
+}
+
+// TestIssueServerClassHalfBudget: generic 5xx gets (RetryMax+1)/2
+// attempts, not the full backpressure budget.
+func TestIssueServerClassHalfBudget(t *testing.T) {
+	h, calls := flakyHandler(http.StatusInternalServerError, 1<<30)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	cfg := Config{RetryMax: 4, RetryBase: time.Millisecond}
+	s := issue(context.Background(), ts.Client(), ts.URL, cfg, Request{Target: "all", Format: "text"})
+	if s.exhausted != classServer {
+		t.Fatalf("exhausted = %q, want server", s.exhausted)
+	}
+	if calls.Load() != 3 { // initial + (4+1)/2 retries
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+}
+
+// TestIssueRetriesOffByDefault: RetryMax 0 issues exactly one attempt
+// and records nothing.
+func TestIssueRetriesOffByDefault(t *testing.T) {
+	h, calls := flakyHandler(http.StatusServiceUnavailable, 1<<30)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	s := issue(context.Background(), ts.Client(), ts.URL, Config{}, Request{Target: "all", Format: "text"})
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls with retries off, want 1", calls.Load())
+	}
+	if s.retried != nil || s.exhausted != "" {
+		t.Fatalf("retries-off sample carries retry state: %v %q", s.retried, s.exhausted)
+	}
+}
+
+// TestIssueHonorsRetryAfter: a Retry-After longer than the computed
+// backoff delays the retry at least that long.
+func TestIssueHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, "payload")
+	}))
+	defer ts.Close()
+	cfg := Config{RetryMax: 1, RetryBase: time.Millisecond}
+	start := time.Now()
+	s := issue(context.Background(), ts.Client(), ts.URL, cfg, Request{Target: "all", Format: "text"})
+	if s.status != http.StatusOK {
+		t.Fatalf("final status = %d, want 200", s.status)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retry fired after %s, want >= the 1s Retry-After", elapsed)
+	}
+	if s.retried[classThrottle] != 1 {
+		t.Fatalf("retried = %v, want one throttle retry", s.retried)
+	}
+}
+
+// TestIssueCancelledContextStopsRetrying: cancellation mid-backoff
+// returns the last sample instead of sleeping out the schedule.
+func TestIssueCancelledContextStopsRetrying(t *testing.T) {
+	h, calls := flakyHandler(http.StatusServiceUnavailable, 1<<30)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	cfg := Config{RetryMax: 10, RetryBase: 10 * time.Second}
+	start := time.Now()
+	issue(ctx, ts.Client(), ts.URL, cfg, Request{Target: "all", Format: "text"})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled issue returned after %s", elapsed)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (cancelled before retry)", calls.Load())
+	}
+}
+
+// TestRunAggregatesRetries: the report sums per-request retry tallies
+// and echoes the protocol knob; a healthy retryless run keeps both maps
+// absent.
+func TestRunAggregatesRetries(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Every third call fails retryably; retries make each request
+		// eventually succeed.
+		if calls.Add(1)%3 == 0 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "flaky", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "payload")
+	}))
+	defer ts.Close()
+	res, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Targets:     []string{"all"},
+		Requests:    30,
+		Concurrency: 1,
+		RetryMax:    3,
+		RetryBase:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d with retries armed, want 0", res.Errors)
+	}
+	if res.RetryMax != 3 {
+		t.Fatalf("RetryMax echo = %d, want 3", res.RetryMax)
+	}
+	if res.Retried[classUnavailable] == 0 {
+		t.Fatalf("Retried = %v, want unavailable retries recorded", res.Retried)
+	}
+	if len(res.Exhausted) != 0 {
+		t.Fatalf("Exhausted = %v, want empty", res.Exhausted)
+	}
+}
+
+func TestRunRetryValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Targets: []string{"all"}, RetryMax: -1}); err == nil {
+		t.Error("negative RetryMax accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Targets: []string{"all"}, RetryBase: -time.Second}); err == nil {
+		t.Error("negative RetryBase accepted")
+	}
+}

@@ -65,6 +65,7 @@ type serveMetrics struct {
 	renders     uint64 // streaming render executions (cold misses + bypasses)
 	rateLimited uint64 // requests rejected 429 by the per-client limiter
 	shed        uint64 // /run requests rejected 503 by the stream cap
+	timeouts    uint64 // requests whose -reqtimeout deadline fired
 }
 
 func newServeMetrics() *serveMetrics {
@@ -103,6 +104,12 @@ func (m *serveMetrics) rateLimitRejected() {
 func (m *serveMetrics) streamRejected() {
 	m.mu.Lock()
 	m.shed++
+	m.mu.Unlock()
+}
+
+func (m *serveMetrics) requestTimedOut() {
+	m.mu.Lock()
+	m.timeouts++
 	m.mu.Unlock()
 }
 
@@ -177,7 +184,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			l.endpoint, l.format, h.count)
 	}
 
-	renders, rateLimited, shed := s.metrics.renders, s.metrics.rateLimited, s.metrics.shed
+	renders, rateLimited, shed, timeouts := s.metrics.renders, s.metrics.rateLimited, s.metrics.shed, s.metrics.timeouts
 	s.metrics.mu.Unlock()
 
 	counter := func(name, help string, v uint64) {
@@ -195,6 +202,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Requests rejected with 429 by the per-client rate limiter.", rateLimited)
 	counter("mergescale_http_streams_rejected_total",
 		"/run requests rejected with 503 by the max-concurrent-streams cap.", shed)
+	counter("mergescale_http_request_timeouts_total",
+		"Requests whose per-request deadline (-reqtimeout) expired.", timeouts)
 	if s.streams != nil {
 		gauge("mergescale_http_streams_active", "Currently executing /run streams.", s.streams.active())
 	}
@@ -213,11 +222,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		entries, bytes := s.Store.Size()
 		counter("mergescale_disk_puts_total", "Disk-cache entries written.", ds.Puts)
 		counter("mergescale_disk_put_skips_total", "Disk-cache writes skipped (unencodable values).", ds.PutSkips)
+		counter("mergescale_disk_write_errors_total", "Disk-cache envelope writes failed on file I/O.", ds.WriteErrs)
+		counter("mergescale_disk_pin_save_errors_total", "Disk-cache pin-file rewrites failed on file I/O.", ds.PinSaveErrs)
 		counter("mergescale_disk_evictions_total", "Disk-cache LRU evictions.", ds.Evictions)
 		counter("mergescale_disk_expired_total", "Disk-cache entries expired by TTL.", ds.Expired)
 		counter("mergescale_disk_dropped_total", "Disk-cache entries dropped (corrupt/version/key mismatch).", ds.Dropped)
 		gauge("mergescale_disk_entries", "Disk-cache resident entries.", int64(entries))
 		gauge("mergescale_disk_bytes", "Disk-cache resident bytes.", bytes)
+	}
+
+	if s.Breaker != nil {
+		snap := s.Breaker.Snapshot()
+		gauge("mergescale_store_breaker_state",
+			"Disk-store circuit breaker state (0=closed, 1=half-open, 2=open).", int64(snap.State))
+		gauge("mergescale_store_breaker_consecutive_faults",
+			"Consecutive disk-store faults observed by the breaker.", int64(snap.ConsecutiveFaults))
+		counter("mergescale_store_breaker_faults_total",
+			"Disk-store operations that returned an infrastructure error.", snap.Stats.Faults)
+		counter("mergescale_store_breaker_short_circuited_total",
+			"Disk-store operations answered locally while the breaker was open.", snap.Stats.ShortCircuited)
+		counter("mergescale_store_breaker_opened_total",
+			"Breaker transitions into open.", snap.Stats.Opened)
+		counter("mergescale_store_breaker_half_opened_total",
+			"Breaker transitions into half-open (recovery probes).", snap.Stats.HalfOpened)
+		counter("mergescale_store_breaker_closed_total",
+			"Breaker transitions back to closed (recoveries).", snap.Stats.Closed)
+	}
+
+	if s.Injector != nil {
+		counter("mergescale_faults_injected_total",
+			"Synthetic faults injected by the -faults profile.", s.Injector.InjectedTotal())
 	}
 
 	if s.renderedBodies != nil {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"math"
 	"net"
 	"net/http"
@@ -134,8 +135,9 @@ func retryAfterSeconds(d time.Duration) string {
 }
 
 // limit wraps a route with the per-client rate limiter (when enabled).
-// /healthz and /metrics are never limited: liveness probes and metric
-// scrapes must keep answering precisely when the server is saturated.
+// /healthz, /readyz, and /metrics are never limited: liveness and
+// readiness probes and metric scrapes must keep answering precisely
+// when the server is saturated.
 func (s *Server) limit(next http.Handler) http.Handler {
 	if s.limiter == nil {
 		return next
@@ -148,6 +150,29 @@ func (s *Server) limit(next http.Handler) http.Handler {
 			return
 		}
 		next.ServeHTTP(w, r)
+	})
+}
+
+// withTimeout wraps a streaming route with the per-request deadline
+// (when enabled). The deadline rides the request context, so it reaches
+// every engine job the stream submits: an expired request stops burning
+// simulator time immediately, exactly like a disconnected client. The
+// countered outcome is observed after the handler returns — if the
+// deadline fired, whether or not the response escaped cleanly, it is one
+// timeout.
+func (s *Server) withTimeout(next http.Handler) http.Handler {
+	if s.ReqTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.ReqTimeout)
+		defer func() {
+			if ctx.Err() == context.DeadlineExceeded {
+				s.metrics.requestTimedOut()
+			}
+			cancel()
+		}()
+		next.ServeHTTP(w, r.WithContext(ctx))
 	})
 }
 

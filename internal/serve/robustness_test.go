@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mergescale/internal/engine"
+	"mergescale/internal/experiments"
+	"mergescale/internal/faults"
+	"mergescale/internal/report"
+)
+
+// failingStore is an ErrStore whose every operation faults, for tripping
+// the breaker from tests.
+type failingStore struct{}
+
+func (failingStore) GetE(string) (any, bool, error) { return nil, false, errors.New("disk gone") }
+func (failingStore) PutE(string, any) error         { return errors.New("disk gone") }
+
+// trippedBreaker returns a breaker already driven open by consecutive
+// faults.
+func trippedBreaker(t *testing.T) *faults.Breaker {
+	t.Helper()
+	b := faults.NewBreaker(failingStore{}, faults.BreakerOptions{})
+	for i := 0; i < faults.DefaultBreakerThreshold; i++ {
+		b.Get("k")
+	}
+	if b.State() != faults.BreakerOpen {
+		t.Fatalf("breaker state = %s after %d faults, want open", b.State(), faults.DefaultBreakerThreshold)
+	}
+	return b
+}
+
+func TestReadyzHealthy(t *testing.T) {
+	srv := &Server{Engine: engine.New(engine.Config{Workers: 1}), Opt: quick}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	status, body := get(t, ts, "/readyz")
+	if status != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", status)
+	}
+	var payload struct {
+		Status  string          `json:"status"`
+		Store   string          `json:"store"`
+		Breaker json.RawMessage `json:"breaker"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("/readyz does not parse: %v\n%s", err, body)
+	}
+	if payload.Status != "ok" || payload.Store != "none" || payload.Breaker != nil {
+		t.Fatalf("/readyz = %+v, want ok/none and no breaker block", payload)
+	}
+}
+
+// TestReadyzDegradedWhenBreakerOpen: an open breaker flips /readyz to
+// 503 "degraded" while /healthz stays a pure 200 liveness probe — the
+// split that lets a balancer drain a degraded replica without a
+// supervisor restarting a live process.
+func TestReadyzDegradedWhenBreakerOpen(t *testing.T) {
+	srv := &Server{
+		Engine:  engine.New(engine.Config{Workers: 1}),
+		Opt:     quick,
+		Breaker: trippedBreaker(t),
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, body := get(t, ts, "/readyz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with open breaker = %d, want 503", status)
+	}
+	var payload struct {
+		Status  string `json:"status"`
+		Store   string `json:"store"`
+		Breaker *struct {
+			State  string `json:"state"`
+			Opened uint64 `json:"opened"`
+		} `json:"breaker"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("/readyz does not parse: %v\n%s", err, body)
+	}
+	if payload.Status != "degraded" || payload.Store != "degraded" {
+		t.Fatalf("/readyz payload = %+v, want degraded/degraded", payload)
+	}
+	if payload.Breaker == nil || payload.Breaker.State != "open" || payload.Breaker.Opened != 1 {
+		t.Fatalf("/readyz breaker block = %+v, want open with one trip", payload.Breaker)
+	}
+
+	if status, body := get(t, ts, "/healthz"); status != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("/healthz during degradation = %d %q, want pure liveness 200", status, body)
+	}
+}
+
+// TestRunStillServesWithBreakerOpen: degradation means slower, never
+// wrong — with the disk store short-circuited the engine computes and
+// the body is the same as a storeless server's.
+func TestRunStillServesWithBreakerOpen(t *testing.T) {
+	reg := experiments.Registry()[:1]
+	plain := &Server{Engine: engine.New(engine.Config{Workers: 2}), Opt: quick, Experiments: reg}
+	tsPlain := httptest.NewServer(plain.Handler())
+	defer tsPlain.Close()
+	_, want := get(t, tsPlain, "/run/"+reg[0].ID)
+
+	broken := trippedBreaker(t)
+	srv := &Server{
+		Engine:      engine.New(engine.Config{Workers: 2, Store: broken}),
+		Opt:         quick,
+		Experiments: reg,
+		Breaker:     broken,
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	status, got := get(t, ts, "/run/"+reg[0].ID)
+	if status != http.StatusOK {
+		t.Fatalf("/run with open breaker = %d, want 200", status)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("degraded body differs from healthy body:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestRequestTimeoutCleans503: a request that blows -reqtimeout before
+// the first body byte gets a clean 503, the engine job is cancelled
+// through the context, and the timeout is counted in /metrics.
+func TestRequestTimeoutClean503(t *testing.T) {
+	block := fakeExperiment("block", func(ctx context.Context) (*report.Document, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	srv := &Server{
+		Engine:      engine.New(engine.Config{Workers: 1}),
+		Opt:         quick,
+		Experiments: []experiments.Experiment{block},
+		ReqTimeout:  50 * time.Millisecond,
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	status, _ := get(t, ts, "/run/block")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("/run/block = %d, want 503 on deadline", status)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %s, want ~50ms", elapsed)
+	}
+
+	_, metrics := get(t, ts, "/metrics")
+	if !strings.Contains(string(metrics), "mergescale_http_request_timeouts_total 1\n") {
+		t.Fatalf("/metrics missing timeout count:\n%s", metrics)
+	}
+}
+
+// TestRequestTimeoutZeroIsOff: the default (no -reqtimeout) leaves
+// requests unbounded and the counter at zero.
+func TestRequestTimeoutZeroIsOff(t *testing.T) {
+	srv := &Server{Engine: engine.New(engine.Config{Workers: 1}), Opt: quick}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if status, _ := get(t, ts, "/run/all"); status != http.StatusOK {
+		t.Fatalf("/run/all = %d, want 200", status)
+	}
+	_, metrics := get(t, ts, "/metrics")
+	if !strings.Contains(string(metrics), "mergescale_http_request_timeouts_total 0\n") {
+		t.Fatalf("/metrics missing zero timeout count:\n%s", metrics)
+	}
+}
+
+// TestMetricsBreakerAndInjectorSeries: with a breaker and injector
+// configured, /metrics exposes the breaker state machine and the
+// injected-fault totals; without them the series are absent entirely.
+func TestMetricsBreakerAndInjectorSeries(t *testing.T) {
+	spec, err := faults.ParseSpec("get.err=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{
+		Engine:   engine.New(engine.Config{Workers: 1}),
+		Opt:      quick,
+		Breaker:  trippedBreaker(t),
+		Injector: faults.NewInjector(spec),
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, body := get(t, ts, "/metrics")
+	for _, want := range []string{
+		"mergescale_store_breaker_state 2\n",
+		"mergescale_store_breaker_faults_total 5\n",
+		"mergescale_store_breaker_opened_total 1\n",
+		"mergescale_faults_injected_total 0\n",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	bare := &Server{Engine: engine.New(engine.Config{Workers: 1}), Opt: quick}
+	tsBare := httptest.NewServer(bare.Handler())
+	defer tsBare.Close()
+	_, body = get(t, tsBare, "/metrics")
+	for _, absent := range []string{"breaker", "faults_injected"} {
+		if strings.Contains(string(body), absent) {
+			t.Errorf("/metrics without breaker/injector mentions %q", absent)
+		}
+	}
+}
+
+// TestStatsBreakerBlock: /stats carries the breaker snapshot and the
+// injector's per-rule counts when configured, and omits both otherwise
+// (healthy JSON bytes unchanged).
+func TestStatsBreakerBlock(t *testing.T) {
+	spec, err := faults.ParseSpec("get.err=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{
+		Engine:   engine.New(engine.Config{Workers: 1}),
+		Opt:      quick,
+		Breaker:  trippedBreaker(t),
+		Injector: faults.NewInjector(spec),
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, body := get(t, ts, "/stats")
+	var payload struct {
+		Breaker *struct {
+			State string `json:"state"`
+		} `json:"breaker"`
+		Faults []faults.RuleCounts `json:"faults"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("/stats does not parse: %v\n%s", err, body)
+	}
+	if payload.Breaker == nil || payload.Breaker.State != "open" {
+		t.Fatalf("/stats breaker = %+v, want open", payload.Breaker)
+	}
+	if len(payload.Faults) != 1 || payload.Faults[0].Op != "get" || payload.Faults[0].Kind != "err" {
+		t.Fatalf("/stats faults = %+v, want the one configured rule", payload.Faults)
+	}
+
+	bare := &Server{Engine: engine.New(engine.Config{Workers: 1}), Opt: quick}
+	tsBare := httptest.NewServer(bare.Handler())
+	defer tsBare.Close()
+	_, body = get(t, tsBare, "/stats")
+	if strings.Contains(string(body), "breaker") || strings.Contains(string(body), "faults") {
+		t.Fatalf("/stats without breaker mentions fault machinery:\n%s", body)
+	}
+}

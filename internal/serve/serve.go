@@ -12,11 +12,22 @@
 // Endpoints:
 //
 //	GET  /healthz               liveness probe ("ok")
+//	GET  /readyz                readiness + degradation state as JSON
 //	GET  /experiments           registry listing as JSON
 //	GET  /run/{id|all}?format=F stream rendered experiment output (chunked)
 //	POST /sweep?format=F        stream a parametric design-space sweep
 //	GET  /stats                 engine + disk-cache counters as JSON
 //	GET  /metrics               Prometheus text-format metrics
+//
+// /healthz and /readyz split liveness from readiness: /healthz answers
+// "ok" whenever the process can serve HTTP at all (it must stay 200
+// while the disk is on fire — restarting the process won't fix the
+// disk), while /readyz reports the degradation surface: the persistent
+// store's health as seen by its circuit breaker, and any active fault
+// injection. A degraded store answers 503 with the same JSON body, so
+// load balancers can drain a disk-degraded replica while it keeps
+// serving byte-identical (just slower) responses to clients that still
+// arrive.
 //
 // POST /sweep accepts a JSON grid (apps × budgets × r values), normalizes
 // it into canonical engine keys — sorted, deduplicated, labels derived
@@ -44,6 +55,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -55,6 +67,7 @@ import (
 	"mergescale/internal/engine"
 	"mergescale/internal/engine/diskcache"
 	"mergescale/internal/experiments"
+	"mergescale/internal/faults"
 	"mergescale/internal/report"
 )
 
@@ -75,6 +88,25 @@ type Server struct {
 	Experiments []experiments.Experiment
 	// Log receives request errors; nil discards them.
 	Log *log.Logger
+
+	// Breaker, when non-nil, is the circuit breaker wrapped around the
+	// disk store (the engine reads through it). /readyz, /stats and
+	// /metrics report its state; the server never drives it directly.
+	Breaker *faults.Breaker
+	// Injector, when non-nil, is the active fault injector; /readyz and
+	// /metrics report its per-rule injection counts so a chaos run is
+	// observable from the outside.
+	Injector *faults.Injector
+	// ReqTimeout, when > 0, bounds each /run and /sweep request
+	// (CLI: serve -reqtimeout). The deadline propagates through the
+	// request context into the engine jobs; expiry before the first body
+	// byte is a clean 503, after it a chunked-transfer abort.
+	ReqTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: how long ListenAndServe
+	// waits for in-flight responses to flush after its context is
+	// cancelled (CLI: serve -draintimeout). <= 0 selects
+	// DefaultDrainTimeout.
+	DrainTimeout time.Duration
 
 	// RateLimit, when > 0, enables the per-client token-bucket rate
 	// limiter at this many requests per second (CLI: serve -ratelimit).
@@ -144,17 +176,84 @@ func (s *Server) Handler() http.Handler {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("GET /healthz", s.instrument("/healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("GET /readyz", s.instrument("/readyz", http.HandlerFunc(s.handleReadyz)))
 	mux.Handle("GET /metrics", s.instrument("/metrics", http.HandlerFunc(s.handleMetrics)))
 	mux.Handle("GET /experiments", s.instrument("/experiments", s.limit(http.HandlerFunc(s.handleExperiments))))
 	mux.Handle("GET /stats", s.instrument("/stats", s.limit(http.HandlerFunc(s.handleStats))))
-	mux.Handle("GET /run/{target}", s.instrument("/run", s.limit(s.capStreams(http.HandlerFunc(s.handleRun)))))
-	mux.Handle("POST /sweep", s.instrument("/sweep", s.limit(s.capStreams(http.HandlerFunc(s.handleSweep)))))
+	mux.Handle("GET /run/{target}", s.instrument("/run", s.limit(s.capStreams(s.withTimeout(http.HandlerFunc(s.handleRun))))))
+	mux.Handle("POST /sweep", s.instrument("/sweep", s.limit(s.capStreams(s.withTimeout(http.HandlerFunc(s.handleSweep))))))
 	return mux
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// breakerInfo is the circuit breaker's externally visible state, shared
+// by /readyz and /stats.
+type breakerInfo struct {
+	State             string `json:"state"` // closed | half-open | open
+	ConsecutiveFaults int    `json:"consecutiveFaults"`
+	Faults            uint64 `json:"faults"`
+	ShortCircuited    uint64 `json:"shortCircuited"`
+	Opened            uint64 `json:"opened"`
+	HalfOpened        uint64 `json:"halfOpened"`
+	Closed            uint64 `json:"closed"`
+}
+
+func newBreakerInfo(snap faults.BreakerSnapshot) *breakerInfo {
+	return &breakerInfo{
+		State:             snap.State.String(),
+		ConsecutiveFaults: snap.ConsecutiveFaults,
+		Faults:            snap.Stats.Faults,
+		ShortCircuited:    snap.Stats.ShortCircuited,
+		Opened:            snap.Stats.Opened,
+		HalfOpened:        snap.Stats.HalfOpened,
+		Closed:            snap.Stats.Closed,
+	}
+}
+
+// readyzPayload is the /readyz response body.
+type readyzPayload struct {
+	Status  string              `json:"status"` // ok | degraded
+	Store   string              `json:"store"`  // none | ok | probing | degraded
+	Breaker *breakerInfo        `json:"breaker,omitempty"`
+	Faults  []faults.RuleCounts `json:"faults,omitempty"`
+}
+
+// handleReadyz reports readiness with the degradation surface attached.
+// Liveness stays on /healthz; this endpoint answers "should traffic
+// prefer another replica?": an open breaker means the disk store is
+// gone and every response is a recomputation — correct but slower — so
+// the payload says degraded and the status code says 503. The body is
+// identical either way, so probes and humans read one shape.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	payload := readyzPayload{Status: "ok", Store: "none"}
+	if s.Store != nil {
+		payload.Store = "ok"
+	}
+	if s.Breaker != nil {
+		snap := s.Breaker.Snapshot()
+		payload.Breaker = newBreakerInfo(snap)
+		switch snap.State {
+		case faults.BreakerOpen:
+			payload.Store = "degraded"
+			payload.Status = "degraded"
+		case faults.BreakerHalfOpen:
+			payload.Store = "probing"
+		}
+	}
+	if s.Injector != nil {
+		payload.Faults = s.Injector.Counts()
+	}
+	// Headers must precede the early WriteHeader — writeJSON's own
+	// Content-Type set would land too late on the 503 path.
+	w.Header().Set("Content-Type", "application/json")
+	if payload.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	s.writeJSON(w, payload)
 }
 
 // experimentInfo is one row of the /experiments listing.
@@ -186,16 +285,20 @@ type engineStats struct {
 }
 
 // diskStats mirrors diskcache.Stats plus the store's current footprint.
+// The failure counters are omitempty: a healthy store's /stats bytes are
+// unchanged from before the counters existed.
 type diskStats struct {
-	Dir       string `json:"dir"`
-	Puts      uint64 `json:"puts"`
-	PutSkips  uint64 `json:"putSkips"`
-	Evictions uint64 `json:"evictions"`
-	Expired   uint64 `json:"expired"`
-	Dropped   uint64 `json:"dropped"`
-	Entries   int    `json:"entries"`
-	Bytes     int64  `json:"bytes"`
-	Pinned    int    `json:"pinned"`
+	Dir         string `json:"dir"`
+	Puts        uint64 `json:"puts"`
+	PutSkips    uint64 `json:"putSkips"`
+	WriteErrs   uint64 `json:"writeErrs,omitempty"`
+	PinSaveErrs uint64 `json:"pinSaveErrs,omitempty"`
+	Evictions   uint64 `json:"evictions"`
+	Expired     uint64 `json:"expired"`
+	Dropped     uint64 `json:"dropped"`
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	Pinned      int    `json:"pinned"`
 }
 
 // renderStats reports the rendered-response cache counters. Coalesced
@@ -211,9 +314,11 @@ type renderStats struct {
 
 // statsPayload is the /stats response body.
 type statsPayload struct {
-	Engine engineStats  `json:"engine"`
-	Disk   *diskStats   `json:"disk,omitempty"`
-	Render *renderStats `json:"render,omitempty"`
+	Engine  engineStats         `json:"engine"`
+	Disk    *diskStats          `json:"disk,omitempty"`
+	Breaker *breakerInfo        `json:"breaker,omitempty"`
+	Faults  []faults.RuleCounts `json:"faults,omitempty"`
+	Render  *renderStats        `json:"render,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -231,16 +336,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ds := s.Store.Stats()
 		entries, bytes := s.Store.Size()
 		payload.Disk = &diskStats{
-			Dir:       s.Store.Dir(),
-			Puts:      ds.Puts,
-			PutSkips:  ds.PutSkips,
-			Evictions: ds.Evictions,
-			Expired:   ds.Expired,
-			Dropped:   ds.Dropped,
-			Entries:   entries,
-			Bytes:     bytes,
-			Pinned:    s.Store.PinnedCount(),
+			Dir:         s.Store.Dir(),
+			Puts:        ds.Puts,
+			PutSkips:    ds.PutSkips,
+			WriteErrs:   ds.WriteErrs,
+			PinSaveErrs: ds.PinSaveErrs,
+			Evictions:   ds.Evictions,
+			Expired:     ds.Expired,
+			Dropped:     ds.Dropped,
+			Entries:     entries,
+			Bytes:       bytes,
+			Pinned:      s.Store.PinnedCount(),
 		}
+	}
+	if s.Breaker != nil {
+		payload.Breaker = newBreakerInfo(s.Breaker.Snapshot())
+	}
+	if s.Injector != nil {
+		payload.Faults = s.Injector.Counts()
 	}
 	if s.renderedBodies != nil {
 		hits, misses, coalesced, entries, bytes := s.renderedBodies.stats()
@@ -484,8 +597,14 @@ func (s *Server) streamRender(w http.ResponseWriter, r *http.Request, key render
 		s.logf("serve: %s format=%s: %v", key.target, key.format, streamErr)
 		if !body.wrote {
 			// The status line hasn't been forced out by body bytes yet, so
-			// the client can still get a proper error response.
-			http.Error(w, streamErr.Error(), http.StatusInternalServerError)
+			// the client can still get a proper error response. A blown
+			// request deadline is overload, not server breakage: 503 (try
+			// again, maybe elsewhere) rather than 500.
+			code := http.StatusInternalServerError
+			if errors.Is(streamErr, context.DeadlineExceeded) {
+				code = http.StatusServiceUnavailable
+			}
+			http.Error(w, streamErr.Error(), code)
 			return
 		}
 		panic(http.ErrAbortHandler)
@@ -535,18 +654,21 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// shutdownGrace bounds how long ListenAndServe waits for in-flight
-// requests after its context is cancelled. Request contexts derive from
-// the serve context, so streams abort almost immediately; the grace period
-// only covers flushing their final bytes.
-const shutdownGrace = 5 * time.Second
+// DefaultDrainTimeout bounds how long ListenAndServe waits for in-flight
+// requests after its context is cancelled, when Server.DrainTimeout is
+// unset. Request contexts derive from the serve context, so streams
+// abort almost immediately; the grace period only covers flushing their
+// final bytes.
+const DefaultDrainTimeout = 10 * time.Second
 
 // ListenAndServe binds addr (use host:0 for an ephemeral port), reports
 // the bound address through ready (if non-nil), and serves until ctx is
 // cancelled, then shuts down gracefully: the listener closes, in-flight
 // request contexts cancel (cancelling their engine jobs), and remaining
-// responses get shutdownGrace to flush. It returns nil on a clean
-// ctx-driven shutdown.
+// responses get DrainTimeout (default DefaultDrainTimeout) to flush —
+// after which lingering connections are closed hard, so a wedged client
+// can never hold shutdown hostage. It returns nil on a clean ctx-driven
+// shutdown.
 func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net.Addr)) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -567,7 +689,11 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, ready func(net
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		drain := s.DrainTimeout
+		if drain <= 0 {
+			drain = DefaultDrainTimeout
+		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			srv.Close()

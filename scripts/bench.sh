@@ -36,6 +36,15 @@
 #                      first-row/total gap is the streaming win (the
 #                      first row ships while later points compute); warm
 #                      first-row ~= warm total is the cache win.
+#   BENCH_faults.json  graceful-degradation cost: the BENCH_serve warm
+#                      replay repeated at 0%, 1%, and 10% injected
+#                      disk-store fault rates (-faults get.err/put.err
+#                      over a warm cache). Per rate: req/s, p99 over all
+#                      requests, warm p99, faults injected, and breaker
+#                      trips from /metrics. The 0% row must match the
+#                      serve suite's shape; the 1%/10% deltas price what
+#                      a flaky disk costs the tails when every fault
+#                      degrades to a recompute instead of an error.
 #
 # Run from anywhere; knobs via environment:
 #
@@ -52,8 +61,9 @@
 #   BENCH_COUNT        -count value       (default 1)
 #   BENCH_SERVE_REQUESTS     load trace length          (default 400)
 #   BENCH_SERVE_CONCURRENCY  load closed-loop workers   (default 8)
+#   BENCH_FAULTS_REQUESTS    faults-suite trace length  (default 200)
 #   BENCH_SUITES       space-separated subset of "engine sim contend
-#                      sweep serve" to run (default: all five) —
+#                      sweep serve faults" to run (default: all six) —
 #                      regenerate one JSON file without paying for the
 #                      rest
 #
@@ -67,7 +77,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 count=${BENCH_COUNT:-1}
-suites=${BENCH_SUITES:-engine sim contend sweep serve}
+suites=${BENCH_SUITES:-engine sim contend sweep serve faults}
 
 want_suite() {
     case " $suites " in
@@ -254,4 +264,93 @@ if want_suite serve; then
 
     echo "wrote BENCH_serve.json:"
     cat BENCH_serve.json
+fi
+
+if want_suite faults; then
+    echo "== fault-rate degradation benchmark =="
+    # The serve protocol (powerlaw, seed 1, 8 workers, text+json) replayed
+    # against servers whose disk store fails at 0%, 1%, and 10% per
+    # operation (seed 1, so the fault sequence is identical across
+    # commits). The cache is pre-warmed; an injected get fault turns a
+    # warm hit into a recompute, so the p99 deltas price degradation,
+    # never correctness — bodies stay byte-identical by construction.
+    faultdir=$(mktemp -d)
+    serve_pid=""
+    cleanup_faults() {
+        [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null
+        rm -rf "$faultdir"
+        rm -f "$tmp"
+    }
+    trap cleanup_faults EXIT
+
+    go build -o "$faultdir/mergescale" ./cmd/mergescale
+    "$faultdir/mergescale" -quick -cachedir "$faultdir/cache" run all > /dev/null
+
+    rows=""
+    for rate in 0 0.01 0.1; do
+        if [ "$rate" = 0 ]; then
+            "$faultdir/mergescale" -quick -cachedir "$faultdir/cache" \
+                serve -addr 127.0.0.1:0 2> "$faultdir/serve.log" &
+        else
+            "$faultdir/mergescale" -quick -cachedir "$faultdir/cache" \
+                -faults "seed=1,get.err=$rate,put.err=$rate" \
+                serve -addr 127.0.0.1:0 2> "$faultdir/serve.log" &
+        fi
+        serve_pid=$!
+        addr=""
+        i=0
+        while [ $i -lt 100 ]; do
+            addr=$(sed -n 's#.*serving on http://##p' "$faultdir/serve.log")
+            [ -n "$addr" ] && break
+            sleep 0.1
+            i=$((i + 1))
+        done
+        if [ -z "$addr" ]; then
+            echo "bench.sh: faulted serve ($rate) did not come up:" >&2
+            cat "$faultdir/serve.log" >&2
+            exit 1
+        fi
+        "$faultdir/mergescale" load -url "http://$addr" \
+            -profile powerlaw -seed 1 -alpha 1.5 \
+            -formats text,json \
+            -concurrency "${BENCH_SERVE_CONCURRENCY:-8}" \
+            -requests "${BENCH_FAULTS_REQUESTS:-200}" \
+            -out "$faultdir/load.$rate.json" 2> /dev/null
+        curl -sfS "http://$addr/metrics" > "$faultdir/metrics.$rate.txt"
+        kill "$serve_pid"
+        wait "$serve_pid" 2>/dev/null || true
+        serve_pid=""
+        rm -f "$faultdir/serve.log"
+
+        rps=$(sed -n 's/.*"req_per_sec": \([0-9.]*\).*/\1/p' "$faultdir/load.$rate.json")
+        # Bucket order in the load report is cold, warm, all.
+        warm_p99=$(grep '"p99_ms"' "$faultdir/load.$rate.json" | sed -n 2p | sed 's/.*: \([0-9.]*\).*/\1/')
+        all_p99=$(grep '"p99_ms"' "$faultdir/load.$rate.json" | sed -n 3p | sed 's/.*: \([0-9.]*\).*/\1/')
+        injected=$(sed -n 's/^mergescale_faults_injected_total \([0-9]*\)$/\1/p' "$faultdir/metrics.$rate.txt")
+        trips=$(sed -n 's/^mergescale_store_breaker_opened_total \([0-9]*\)$/\1/p' "$faultdir/metrics.$rate.txt")
+        [ -n "$injected" ] || injected=0
+        [ -n "$trips" ] || trips=0
+        if [ -z "$rps" ] || [ -z "$all_p99" ]; then
+            echo "bench.sh: could not parse load report for rate $rate:" >&2
+            cat "$faultdir/load.$rate.json" >&2
+            exit 1
+        fi
+        [ -n "$rows" ] && rows="$rows,"
+        rows="$rows
+    {\"fault_rate\": $rate, \"req_per_sec\": $rps, \"p99_all_ms\": $all_p99, \"p99_warm_ms\": ${warm_p99:-0}, \"faults_injected\": $injected, \"breaker_trips\": $trips}"
+    done
+
+    cat > BENCH_faults.json <<EOF
+{
+  "go": "$(go env GOVERSION)",
+  "goos": "$(go env GOOS)",
+  "goarch": "$(go env GOARCH)",
+  "protocol": "powerlaw seed 1, concurrency ${BENCH_SERVE_CONCURRENCY:-8}, text+json, ${BENCH_FAULTS_REQUESTS:-200} requests, warm -quick cache, faults seed=1 get.err/put.err at rate",
+  "rates": [$rows
+  ]
+}
+EOF
+    rm -rf "$faultdir"
+    echo "wrote BENCH_faults.json:"
+    cat BENCH_faults.json
 fi

@@ -159,6 +159,16 @@ grep -q '^mergescale_http_requests_total{endpoint="/run",format="text",code="200
 grep -q '^mergescale_http_request_duration_seconds_bucket{endpoint="/run",format="text",le="+Inf"} 9$' "$tmp/metrics.txt"
 grep -q '^mergescale_engine_jobs_executed_total 0$' "$tmp/metrics.txt"
 grep -q '^# TYPE mergescale_http_request_duration_seconds histogram$' "$tmp/metrics.txt"
+# Robustness counters on the healthy path: all zero, breaker closed —
+# fault machinery must be invisible until faults actually happen.
+grep -q '^mergescale_store_breaker_state 0$' "$tmp/metrics.txt"
+grep -q '^mergescale_store_breaker_opened_total 0$' "$tmp/metrics.txt"
+grep -q '^mergescale_disk_write_errors_total 0$' "$tmp/metrics.txt"
+grep -q '^mergescale_disk_pin_save_errors_total 0$' "$tmp/metrics.txt"
+grep -q '^mergescale_http_request_timeouts_total 0$' "$tmp/metrics.txt"
+curl -s -o "$tmp/readyz.json" -w '%{http_code}' "http://$addr/readyz" > "$tmp/readyz.code"
+grep -q '^200$' "$tmp/readyz.code"
+grep -q '"status":"ok"' "$tmp/readyz.json"
 
 echo "== load harness smoke =="
 # -slo-warm-p99 with a generous budget doubles as a smoke test of the
@@ -202,6 +212,44 @@ grep -qi '^X-Render-Cache: hit' "$tmp/sweep2.hdr"
 cmp "$tmp/sweep.http" "$tmp/sweep2.http"
 executed_after=$(curl -sfS "http://$addr/stats" | grep -o '"executed":[0-9]*')
 [ "$executed_before" = "$executed_after" ]
+
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+echo "== chaos gate: 100% disk-store faults =="
+# Boot a server whose every store operation fails (get.err=1,put.err=1):
+# /run/all must still return byte-identical output (every miss is a
+# deterministic recompute), the breaker must be open in /metrics, /readyz
+# must report degraded with 503, and /healthz must stay a plain 200 — the
+# graceful-degradation contract end to end.
+"$tmp/mergescale" -quick -cachedir "$tmp/chaoscache" -faults 'get.err=1,put.err=1' \
+    serve -addr 127.0.0.1:0 2> "$tmp/chaos.log" &
+serve_pid=$!
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's#.*serving on http://##p' "$tmp/chaos.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "chaos server did not come up:" >&2
+    cat "$tmp/chaos.log" >&2
+    exit 1
+fi
+curl -sfS "http://$addr/run/all" > "$tmp/chaos.out"
+cmp "$tmp/buffered.text" "$tmp/chaos.out"
+curl -sfS "http://$addr/metrics" > "$tmp/chaos.metrics"
+grep -q '^mergescale_store_breaker_state 2$' "$tmp/chaos.metrics"
+grep -q '^mergescale_store_breaker_opened_total [1-9]' "$tmp/chaos.metrics"
+grep -q '^mergescale_faults_injected_total [1-9]' "$tmp/chaos.metrics"
+curl -s -o "$tmp/chaos.readyz" -w '%{http_code}' "http://$addr/readyz" > "$tmp/chaos.readyz.code"
+grep -q '^503$' "$tmp/chaos.readyz.code"
+grep -q '"status":"degraded"' "$tmp/chaos.readyz"
+grep -q '"store":"degraded"' "$tmp/chaos.readyz"
+curl -sfS "http://$addr/healthz" > /dev/null
 
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
